@@ -1,0 +1,52 @@
+"""Table 2 / Figures 13-15: the threshold trade-off study.
+
+Paper shape: moving from threshold setting I to VI (less to more
+aggressive down-scaling) monotonically trades latency for power — more
+savings, higher latency — tracing a Pareto frontier at a fixed rate
+(Figure 15, paper rate 1.7 packets/cycle).
+"""
+
+from repro.harness.experiments import (
+    fig13_threshold_latency,
+    fig14_threshold_power,
+    fig15_pareto_curve,
+)
+
+from .common import cached_threshold_sweeps, emit, run_once, scale
+
+RATES = (0.5, 1.1, 1.7)
+SETTING_ORDER = ("I", "II", "III", "IV", "V", "VI")
+
+
+def test_fig13_threshold_latency(benchmark):
+    sweeps = run_once(
+        benchmark, lambda: cached_threshold_sweeps(scale().name, RATES)
+    )
+    figure = fig13_threshold_latency(scale(), sweeps=sweeps)
+    emit("fig13_threshold_latency", figure)
+    assert len(figure.rows) == len(RATES)
+
+
+def test_fig14_threshold_power(benchmark):
+    sweeps = run_once(
+        benchmark, lambda: cached_threshold_sweeps(scale().name, RATES)
+    )
+    figure = fig14_threshold_power(scale(), sweeps=sweeps)
+    emit("fig14_threshold_power", figure)
+    # More aggressive settings burn no more power, comparing the ends.
+    mean_power = {
+        name: sum(point.normalized_power for point in sweeps[name]) / len(sweeps[name])
+        for name in SETTING_ORDER
+    }
+    assert mean_power["VI"] <= mean_power["I"] * 1.05
+
+
+def test_fig15_pareto_curve(benchmark):
+    figure = run_once(benchmark, lambda: fig15_pareto_curve(scale(), rate=1.7))
+    emit("fig15_pareto", figure)
+    savings = [row[4] for row in figure.rows]
+    # The frontier spans a real range of savings across settings I..VI.
+    assert max(savings) > min(savings)
+    # The most aggressive setting is on the high-savings side.
+    by_name = {row[0]: row[4] for row in figure.rows}
+    assert by_name["VI"] >= by_name["I"]

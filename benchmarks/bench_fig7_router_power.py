@@ -1,0 +1,19 @@
+"""Figure 7: router power distribution.
+
+Paper anchors: links 82.4% of router+channel power, allocators 81 mW.
+This is the analytical reconstruction (the original is a Synopsys
+synthesis measurement; see DESIGN.md substitution notes).
+"""
+
+from repro.harness.experiments import fig7_router_power_distribution
+
+from .common import emit, run_once
+
+
+def test_fig7_router_power_distribution(benchmark):
+    figure = run_once(benchmark, fig7_router_power_distribution)
+    emit("fig7_router_power", figure)
+    fractions = {row[0]: row[2] for row in figure.rows}
+    assert abs(fractions["links"] - 0.824) < 0.001
+    watts = {row[0]: row[1] for row in figure.rows}
+    assert abs(watts["allocators"] - 0.081) < 1e-6

@@ -1,0 +1,67 @@
+"""Shared plumbing for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures at the scale
+selected by ``REPRO_SCALE`` (smoke / default / paper; see
+:mod:`repro.harness.scales`), times it once via pytest-benchmark's pedantic
+mode (these are experiments, not microbenchmarks — re-running them for
+statistics would multiply the suite's cost for no insight), prints the
+rendered rows, and archives them under ``benchmarks/results/``.
+
+Expensive sweeps that feed several figures (the Figure 10 comparison feeds
+the headline summary; the Table 2 threshold sweeps feed Figures 13 and 14)
+are computed once per process and cached here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.harness.scales import ExperimentScale, get_scale
+from repro.harness.serialization import write_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale() -> ExperimentScale:
+    """The suite's active scale preset (env-selectable)."""
+    return get_scale()
+
+
+def emit(name: str, figure) -> None:
+    """Print a figure's table and archive it (text + JSON rows)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = figure.render()
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    write_json(
+        {"figure": figure.figure, "columns": figure.columns, "rows": figure.rows},
+        RESULTS_DIR / f"{name}.json",
+    )
+
+
+def run_once(benchmark, func):
+    """Time *func* exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@lru_cache(maxsize=4)
+def cached_fig10(scale_name: str):
+    from repro.harness.experiments import fig10_dvs_vs_nodvs
+
+    return fig10_dvs_vs_nodvs(get_scale(scale_name))
+
+
+@lru_cache(maxsize=4)
+def cached_threshold_sweeps(scale_name: str, rates: tuple):
+    from repro.harness.experiments import threshold_sweeps
+
+    return threshold_sweeps(get_scale(scale_name), rates=rates)
+
+
+@lru_cache(maxsize=4)
+def cached_profiles(scale_name: str, loads: tuple):
+    from repro.harness.experiments import utilization_profiles
+
+    return utilization_profiles(get_scale(scale_name), loads=loads)

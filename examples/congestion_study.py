@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Network power under deepening congestion (Figure 12 in miniature).
+
+Pushes offered load well past saturation with the history-based DVS policy
+active and watches two curves: accepted throughput and normalized link
+power. The paper's counterintuitive result: power keeps *rising* with
+throughput past the first congestion signs — only when the whole network
+congests and throughput collapses does power dip, because stalled links
+show low utilization and the policy scales them down.
+
+Run:  python examples/congestion_study.py
+"""
+
+from repro import (
+    DVSControlConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    Simulator,
+    WorkloadConfig,
+)
+
+RATES = (0.2, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_at(rate: float):
+    config = SimulationConfig(
+        network=NetworkConfig(radix=4, dimensions=2),
+        link=LinkConfig(
+            voltage_transition_s=0.5e-6, frequency_transition_link_cycles=5
+        ),
+        dvs=DVSControlConfig(policy="history"),
+        workload=WorkloadConfig(
+            kind="two_level",
+            injection_rate=rate,
+            average_tasks=20,
+            average_task_duration_s=20.0e-6,
+            onoff_sources_per_task=16,
+            seed=9,
+        ),
+        warmup_cycles=6_000,
+        measure_cycles=20_000,
+    )
+    return Simulator(config).run()
+
+
+def bar(value: float, peak: float, width: int = 28) -> str:
+    return "#" * max(1, int(width * value / peak)) if peak else ""
+
+
+def main() -> None:
+    print("Driving a 4x4 mesh past saturation under history-based DVS...\n")
+    results = [(rate, run_at(rate)) for rate in RATES]
+
+    peak_throughput = max(r.accepted_rate for _, r in results)
+    peak_power = max(r.power.normalized for _, r in results)
+
+    print(f"{'offered':>8} {'accepted':>9} {'norm power':>11}   throughput / power")
+    print("-" * 76)
+    for rate, result in results:
+        print(
+            f"{result.offered_rate:>8.3f} {result.accepted_rate:>9.3f} "
+            f"{result.power.normalized:>11.3f}   "
+            f"T|{bar(result.accepted_rate, peak_throughput):<28}| "
+            f"P|{bar(result.power.normalized, peak_power):<28}|"
+        )
+
+    throughputs = [r.accepted_rate for _, r in results]
+    powers = [r.power.normalized for _, r in results]
+    knee = throughputs.index(max(throughputs))
+    print(
+        f"\nThroughput peaks at offered {results[knee][0]} packets/cycle; "
+        f"power past the peak moves from {powers[knee]:.3f} to {powers[-1]:.3f}."
+    )
+    print(
+        "Power tracks throughput, not offered load — congested links idle\n"
+        "behind full buffers, look underutilized, and get scaled down."
+    )
+
+
+if __name__ == "__main__":
+    main()

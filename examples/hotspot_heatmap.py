@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Watch the DVS policy shape itself around a hotspot.
+
+Drives an 8x8 mesh with hotspot traffic (40% of packets target the center
+node) under the history-based DVS policy, then renders terminal heatmaps
+of the per-channel voltage/frequency levels: the links feeding the
+hotspot stay fast (9) while the periphery sinks toward the bottom level
+(0) — the spatial structure behind the paper's power savings.
+
+Run:  python examples/hotspot_heatmap.py
+"""
+
+from repro import (
+    DVSControlConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    Simulator,
+    WorkloadConfig,
+)
+from repro import viz
+from repro.traffic.hotspot import HotspotTraffic
+
+
+def main() -> None:
+    config = SimulationConfig(
+        network=NetworkConfig(radix=8, dimensions=2),
+        link=LinkConfig(
+            voltage_transition_s=0.5e-6, frequency_transition_link_cycles=5
+        ),
+        dvs=DVSControlConfig(policy="history"),
+        workload=WorkloadConfig(kind="uniform", injection_rate=0.9, seed=21),
+        warmup_cycles=0,
+        measure_cycles=25_000,
+    )
+    simulator = Simulator(config)
+    simulator.traffic = HotspotTraffic(
+        simulator.topology, config.workload, hotspot_fraction=0.4
+    )
+
+    print("Running 25k cycles of hotspot traffic (40% to the center)...\n")
+    simulator.begin_measurement()
+    simulator.run_cycles(25_000)
+    result = simulator.finish()
+
+    print("Mean output-channel DVS level per router (9 = fastest):")
+    print(viz.level_grid(simulator))
+    print()
+    print("Eastward (+x) channel levels ('.' = mesh edge):")
+    print(viz.channel_level_heatmap(simulator, direction=0))
+    print()
+    print(viz.utilization_bars(simulator, top=8))
+    print()
+    print(
+        f"Network: accepted {result.accepted_rate:.2f} pkt/cycle, "
+        f"normalized power {result.power.normalized:.3f} "
+        f"({result.power.savings_factor:.1f}X savings), "
+        f"mean level {result.mean_level:.1f}"
+    )
+    print(
+        "\nThe hotspot's feeder links hold high levels while the rest of the\n"
+        "mesh scales down — distributed, per-port control needs no global\n"
+        "coordination to find this shape (the paper's Section 3.3 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The power/latency dial: sweep the paper's Table 2 threshold settings.
+
+Reproduces a small version of Figures 13-15: the same network and workload
+run under each threshold setting I..VI, from conservative (I) to
+aggressive (VI), showing that thresholds trade latency for power savings
+along a Pareto frontier.
+
+Run:  python examples/threshold_tradeoff.py
+"""
+
+from repro import DVSControlConfig, TABLE2_SETTINGS
+from repro.harness.runner import run_simulation
+from repro.harness.scales import SMOKE_SCALE
+
+
+def main() -> None:
+    rate = 0.9  # packets/cycle across the 4x4 smoke-scale mesh
+    print(f"Sweeping Table 2 threshold settings at {rate} packets/cycle...\n")
+    print(f"{'setting':>8} {'TL_low':>7} {'TL_high':>8} {'latency':>9} {'savings':>8}")
+    print("-" * 45)
+    frontier = []
+    for name, thresholds in TABLE2_SETTINGS.items():
+        config = SMOKE_SCALE.simulation(
+            rate,
+            dvs=DVSControlConfig(policy="history", thresholds=thresholds),
+            workload_overrides={"average_tasks": 30},
+        )
+        result = run_simulation(config)
+        frontier.append((name, result))
+        print(
+            f"{name:>8} {thresholds.low_uncongested:>7.2f} "
+            f"{thresholds.high_uncongested:>8.2f} "
+            f"{result.latency.mean:>9.1f} {result.power.savings_factor:>7.2f}X"
+        )
+
+    print("\nReading the dial:")
+    first, last = frontier[0][1], frontier[-1][1]
+    print(
+        f"  setting I   -> {first.power.savings_factor:.1f}X savings at "
+        f"{first.latency.mean:.0f}-cycle latency"
+    )
+    print(
+        f"  setting VI  -> {last.power.savings_factor:.1f}X savings at "
+        f"{last.latency.mean:.0f}-cycle latency"
+    )
+    print(
+        "  Higher thresholds step links down sooner: more power saved, more\n"
+        "  serialization and queueing latency — the Figure 15 Pareto curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

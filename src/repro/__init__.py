@@ -1,0 +1,115 @@
+"""repro — reproduction of "Dynamic Voltage Scaling with Links for Power
+Optimization of Interconnection Networks" (Shang, Peh & Jha, HPCA 2003).
+
+The package provides, from scratch:
+
+* the paper's contribution — DVS links and the history-based DVS policy
+  (:mod:`repro.core`);
+* the substrate it runs on — a flit-level k-ary n-cube network simulator
+  with virtual-channel routers and credit flow control
+  (:mod:`repro.network`);
+* the paper's two-level self-similar workload model plus classic reference
+  workloads (:mod:`repro.traffic`);
+* power accounting and the router power profile (:mod:`repro.power`);
+* metrics (:mod:`repro.metrics`) and the per-figure experiment harness
+  (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro import SimulationConfig, Simulator
+
+    result = Simulator(SimulationConfig()).run()
+    print(result.latency.mean, result.power.savings_factor)
+"""
+
+from .config import (
+    DVSControlConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    WorkloadConfig,
+    paper_baseline_config,
+)
+from .core import (
+    TABLE1_DEFAULT,
+    TABLE2_SETTINGS,
+    AlwaysMaxPolicy,
+    ChannelPhase,
+    ControllerHardwareModel,
+    DVSAction,
+    DVSChannel,
+    DVSPolicy,
+    HistoryDVSPolicy,
+    LinkPowerModel,
+    PortDVSController,
+    RegulatorModel,
+    StaticLevelPolicy,
+    ThresholdSet,
+    TransitionTiming,
+    VFOperatingPoint,
+    VFTable,
+    transition_energy,
+)
+from .errors import (
+    ConfigError,
+    ExperimentError,
+    FlowControlError,
+    LinkStateError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from .network import Simulator, SimulationResult, Topology
+from .power import PowerAccountant, PowerReport, RouterPowerProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configs
+    "NetworkConfig",
+    "LinkConfig",
+    "DVSControlConfig",
+    "WorkloadConfig",
+    "SimulationConfig",
+    "paper_baseline_config",
+    # core
+    "VFOperatingPoint",
+    "VFTable",
+    "LinkPowerModel",
+    "RegulatorModel",
+    "transition_energy",
+    "ChannelPhase",
+    "DVSChannel",
+    "TransitionTiming",
+    "DVSAction",
+    "DVSPolicy",
+    "HistoryDVSPolicy",
+    "AlwaysMaxPolicy",
+    "StaticLevelPolicy",
+    "PortDVSController",
+    "ThresholdSet",
+    "TABLE1_DEFAULT",
+    "TABLE2_SETTINGS",
+    "ControllerHardwareModel",
+    # network
+    "Topology",
+    "Simulator",
+    "SimulationResult",
+    # power
+    "PowerAccountant",
+    "PowerReport",
+    "RouterPowerProfile",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "RoutingError",
+    "SimulationError",
+    "FlowControlError",
+    "LinkStateError",
+    "WorkloadError",
+    "ExperimentError",
+]

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro describe                    # static tables and models
+    python -m repro run --rate 1.0 --policy history
+    python -m repro sweep --rates 0.3,0.9,1.5   # DVS vs non-DVS comparison
+    python -m repro figure fig10 --scale smoke  # regenerate a paper figure
+
+All heavy lifting lives in the library; the CLI only parses arguments,
+calls the same functions the benchmarks use, and prints the rendered
+tables, so everything reachable from the shell is equally reachable (and
+tested) from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .config import DVSControlConfig, POLICY_NAMES
+from .core.hardware import ControllerHardwareModel
+from .core.levels import PAPER_TABLE
+from .core.power_model import PAPER_LINK_POWER
+from .core.thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS
+from .errors import ReproError
+from .harness import experiments
+from .harness.runner import run_simulation
+from .harness.scales import get_scale
+from .harness.serialization import write_json
+from .harness.sweep import compare_policies, summarize_comparison
+from .harness.tables import render_table
+from .power.report import format_power_report
+from .power.router_power import RouterPowerProfile
+
+#: Figure name -> experiment function (no-argument beyond scale).
+FIGURES: dict[str, Callable] = {
+    "fig3": experiments.fig3_link_utilization_profile,
+    "fig4": experiments.fig4_buffer_utilization_profile,
+    "fig5": experiments.fig5_buffer_age_profile,
+    "fig7": lambda scale: experiments.fig7_router_power_distribution(),
+    "fig8": experiments.fig8_spatial_variance,
+    "fig9": experiments.fig9_temporal_variance,
+    "fig10": experiments.fig10_dvs_vs_nodvs,
+    "fig11": experiments.fig11_dvs_vs_nodvs_50tasks,
+    "fig12": experiments.fig12_congestion_power,
+    "fig13": experiments.fig13_threshold_latency,
+    "fig14": experiments.fig14_threshold_power,
+    "fig15": experiments.fig15_pareto_curve,
+    "fig16a": lambda scale: experiments.fig16_voltage_transition_sweep(scale, panel="a"),
+    "fig16b": lambda scale: experiments.fig16_voltage_transition_sweep(scale, panel="b"),
+    "fig16c": lambda scale: experiments.fig16_voltage_transition_sweep(scale, panel="c"),
+    "fig16d": lambda scale: experiments.fig16_voltage_transition_sweep(scale, panel="d"),
+    "fig17a": lambda scale: experiments.fig17_frequency_transition_sweep(scale, panel="a"),
+    "fig17b": lambda scale: experiments.fig17_frequency_transition_sweep(scale, panel="b"),
+    "fig17c": lambda scale: experiments.fig17_frequency_transition_sweep(scale, panel="c"),
+    "fig17d": lambda scale: experiments.fig17_frequency_transition_sweep(scale, panel="d"),
+    "headline": experiments.headline_summary,
+    "ablation-litmus": experiments.ablation_congestion_litmus,
+    "ablation-weight": experiments.ablation_ewma_weight,
+    "ablation-window": experiments.ablation_history_window,
+    "extension-adaptive": experiments.ablation_adaptive_thresholds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Voltage Scaling with Links' (HPCA 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print static tables and models")
+    describe.set_defaults(func=cmd_describe)
+
+    run = sub.add_parser("run", help="run one simulation and report")
+    run.add_argument("--rate", type=float, default=1.0, help="packets/cycle, network-wide")
+    run.add_argument("--policy", choices=POLICY_NAMES, default="history")
+    run.add_argument("--tasks", type=int, default=100, help="average concurrent task sessions")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scale", default=None, help="smoke | default | paper")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="rate sweep, DVS vs non-DVS")
+    sweep.add_argument("--rates", default="0.3,0.7,1.1,1.5,1.9",
+                       help="comma-separated offered rates")
+    sweep.add_argument("--scale", default=None)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(func=cmd_sweep)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure/table")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", default=None)
+    figure.add_argument("--json", default=None, help="also write rows to this path")
+    figure.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    print(PAPER_TABLE.describe())
+    print()
+    print(PAPER_LINK_POWER.describe(PAPER_TABLE))
+    print()
+    print(RouterPowerProfile().describe())
+    print()
+    print(ControllerHardwareModel().describe())
+    print()
+    print("Table 1 defaults:", TABLE1_DEFAULT)
+    print("Table 2 settings:")
+    for name, setting in TABLE2_SETTINGS.items():
+        print(f"  {name}: TL=({setting.low_uncongested}, {setting.high_uncongested})")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    config = scale.simulation(
+        args.rate,
+        policy=args.policy,
+        workload_overrides={"average_tasks": args.tasks, "seed": args.seed},
+    )
+    result = run_simulation(config)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("offered packets/cycle", round(result.offered_rate, 3)),
+                ("accepted packets/cycle", round(result.accepted_rate, 3)),
+                ("mean latency (cycles)", round(result.latency.mean, 1)),
+                ("median latency", round(result.latency.median, 1)),
+                ("p95 latency", round(result.latency.p95, 1)),
+                ("mean DVS level", round(result.mean_level, 2)),
+            ],
+            title=f"run @ {args.rate} pkt/cycle, policy={args.policy}, "
+            f"scale={scale.name}",
+        )
+    )
+    print()
+    print(format_power_report(result.power))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    rates = tuple(float(r) for r in args.rates.split(","))
+    base = scale.simulation(rates[0], workload_overrides={"seed": args.seed})
+    sweeps = compare_policies(
+        base,
+        rates,
+        {
+            "none": DVSControlConfig(policy="none"),
+            "history": DVSControlConfig(policy="history"),
+        },
+    )
+    rows = [
+        (
+            b.target_rate,
+            round(b.offered_rate, 3),
+            round(b.mean_latency, 1),
+            round(d.mean_latency, 1),
+            round(d.normalized_power, 3),
+            round(d.savings_factor, 2),
+        )
+        for b, d in zip(sweeps["none"], sweeps["history"])
+    ]
+    print(
+        render_table(
+            ["rate", "offered", "lat_nodvs", "lat_dvs", "norm_power", "savings"],
+            rows,
+            title=f"DVS vs non-DVS sweep (scale={scale.name})",
+        )
+    )
+    summary = summarize_comparison(sweeps["none"], sweeps["history"])
+    print()
+    print(summary.describe())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    figure = FIGURES[args.name](scale)
+    print(figure.render())
+    if args.json:
+        write_json(
+            {"figure": figure.figure, "columns": figure.columns, "rows": figure.rows},
+            args.json,
+        )
+        print(f"\nrows written to {args.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: DVS links and the history-based policy.
+
+This subpackage is self-contained: it models the voltage/frequency operating
+points of a DVS link (:mod:`repro.core.levels`), the link power and
+transition-energy model (:mod:`repro.core.power_model`), the channel-level
+DVS state machine with the paper's transition sequencing
+(:mod:`repro.core.dvs_link`), the utilization sampling and EWMA prediction
+machinery (:mod:`repro.core.history`), the history-based policy itself plus
+baselines (:mod:`repro.core.policy`), the per-port controller that wires
+measurement to actuation (:mod:`repro.core.controller`), the published
+threshold presets (:mod:`repro.core.thresholds`), and the hardware cost
+model of Section 3.3 (:mod:`repro.core.hardware`).
+"""
+
+from .levels import VFOperatingPoint, VFTable
+from .power_model import LinkPowerModel, RegulatorModel, transition_energy
+from .dvs_link import ChannelPhase, DVSChannel, TransitionTiming
+from .history import EWMAPredictor, WindowSampler
+from .policy import (
+    AdaptiveThresholdPolicy,
+    AlwaysMaxPolicy,
+    DVSAction,
+    DVSPolicy,
+    HistoryDVSPolicy,
+    LinkUtilizationOnlyPolicy,
+    PolicyInputs,
+    StaticLevelPolicy,
+)
+from .controller import PortDVSController
+from .thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS, ThresholdSet
+from .hardware import ControllerHardwareModel
+
+__all__ = [
+    "VFOperatingPoint",
+    "VFTable",
+    "LinkPowerModel",
+    "RegulatorModel",
+    "transition_energy",
+    "ChannelPhase",
+    "DVSChannel",
+    "TransitionTiming",
+    "EWMAPredictor",
+    "WindowSampler",
+    "DVSAction",
+    "DVSPolicy",
+    "PolicyInputs",
+    "HistoryDVSPolicy",
+    "AlwaysMaxPolicy",
+    "StaticLevelPolicy",
+    "LinkUtilizationOnlyPolicy",
+    "AdaptiveThresholdPolicy",
+    "PortDVSController",
+    "ThresholdSet",
+    "TABLE1_DEFAULT",
+    "TABLE2_SETTINGS",
+    "ControllerHardwareModel",
+]

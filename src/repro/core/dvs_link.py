@@ -1,0 +1,438 @@
+"""DVS channel state machine.
+
+Models one router-output *channel*: eight serial links sharing a single
+adaptive power-supply regulator and a common frequency (paper Figure 1 and
+Section 4.2). The state machine implements the paper's transition
+sequencing (Section 2, Figure 2):
+
+* **Speeding up** (level ``L`` to ``L+1``): the supply voltage ramps first
+  — a slow analog ramp, 10 us per adjacent level by default — during which
+  the link keeps operating at the *old* frequency. Only then does the
+  frequency synthesizer retune, which takes 100 link-clock cycles during
+  which the receiver re-locks and the **link is dead**.
+* **Slowing down** (level ``L`` to ``L-1``): frequency first (link dead for
+  the lock time, measured in *old* link clocks), then the voltage ramps
+  down while the link runs at the new, lower frequency.
+
+Commands that arrive while a transition is in flight are rejected — a
+voltage ramp spans ~50 history windows at the paper's parameters, so the
+controlling policy simply re-evaluates later. Multi-step retargets chain
+adjacent transitions automatically.
+
+The channel also owns its own energy bookkeeping: steady-state power is
+integrated over time at the phase-appropriate level (conservatively, the
+*higher* of the two voltages during a ramp) and each voltage ramp is
+charged the regulator overhead of paper Eq. (1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError, LinkStateError
+from ..units import seconds_to_cycles
+from .levels import VFOperatingPoint, VFTable
+from .power_model import LinkPowerModel, RegulatorModel
+
+
+class ChannelPhase(enum.Enum):
+    """Phase of the DVS channel state machine."""
+
+    STEADY = "steady"
+    #: Supply voltage ramping between adjacent levels; link functional.
+    VOLTAGE_RAMP = "voltage_ramp"
+    #: Frequency synthesizer retuning / receiver re-locking; link dead.
+    FREQUENCY_LOCK = "frequency_lock"
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionTiming:
+    """Transition latencies of a DVS link (paper Section 2 defaults).
+
+    Attributes:
+        voltage_transition_s: Wall-clock time of a voltage ramp between
+            *adjacent* levels (paper: 10 us).
+        frequency_transition_link_cycles: Receiver lock time of a frequency
+            retune, in link clock cycles of the frequency in effect when the
+            retune starts (paper: 100 cycles).
+    """
+
+    voltage_transition_s: float = 10.0e-6
+    frequency_transition_link_cycles: int = 100
+
+    def __post_init__(self) -> None:
+        if self.voltage_transition_s < 0.0:
+            raise ConfigError("voltage transition time must be non-negative")
+        if self.frequency_transition_link_cycles < 0:
+            raise ConfigError("frequency transition cycles must be non-negative")
+
+    def voltage_cycles(self, router_clock_hz: float) -> int:
+        """Voltage ramp duration in router cycles."""
+        return seconds_to_cycles(self.voltage_transition_s, router_clock_hz)
+
+    def frequency_cycles(self, link_frequency_hz: float, router_clock_hz: float) -> int:
+        """Frequency lock duration in router cycles, for a retune starting
+        while the link runs at *link_frequency_hz*."""
+        if link_frequency_hz <= 0.0:
+            raise ConfigError("link frequency must be positive")
+        return int(
+            math.ceil(
+                self.frequency_transition_link_cycles
+                * router_clock_hz
+                / link_frequency_hz
+            )
+        )
+
+
+class DVSChannel:
+    """One DVS-capable channel: shared-regulator serial links plus state.
+
+    The simulator drives this object with three calls:
+
+    * :meth:`request_level` — issued by the DVS controller at history-window
+      boundaries; starts a transition if the channel is steady.
+    * :meth:`on_phase_end` — advances the state machine when the scheduled
+      phase boundary is reached; returns the next boundary cycle, if any.
+    * :meth:`send_flit` — occupies the wire for one flit's serialization
+      time and maintains busy-time accounting for link utilization.
+    """
+
+    __slots__ = (
+        "table",
+        "power_model",
+        "regulator",
+        "lanes",
+        "router_clock_hz",
+        "timing",
+        "_level",
+        "_voltage_level",
+        "_target_level",
+        "_phase",
+        "_phase_end_cycle",
+        "locked",
+        "busy_until",
+        "busy_cycles_total",
+        "flits_sent",
+        "transition_count",
+        "transition_energy_j",
+        "link_energy_j",
+        "dead_cycles",
+        "_power_w",
+        "_last_energy_cycle",
+        "_serialization_cycles",
+        "level_step_counts",
+    )
+
+    def __init__(
+        self,
+        table: VFTable,
+        power_model: LinkPowerModel,
+        regulator: RegulatorModel | None = None,
+        *,
+        lanes: int = 8,
+        router_clock_hz: float = 1.0e9,
+        timing: TransitionTiming | None = None,
+        initial_level: int | None = None,
+    ):
+        if lanes <= 0:
+            raise ConfigError("a channel needs at least one lane")
+        if router_clock_hz <= 0.0:
+            raise ConfigError("router clock must be positive")
+        self.table = table
+        self.power_model = power_model
+        self.regulator = regulator if regulator is not None else RegulatorModel()
+        self.lanes = lanes
+        self.router_clock_hz = router_clock_hz
+        self.timing = timing if timing is not None else TransitionTiming()
+
+        level = table.max_level if initial_level is None else initial_level
+        if not 0 <= level <= table.max_level:
+            raise ConfigError(f"initial level {level} out of range")
+        self._level = level
+        self._voltage_level = level
+        self._target_level = level
+        self._phase = ChannelPhase.STEADY
+        self._phase_end_cycle: int | None = None
+        #: Fast-path mirror of ``phase is FREQUENCY_LOCK`` (the router's hot
+        #: loop reads this plain attribute instead of the phase property).
+        self.locked = False
+
+        self.busy_until = 0.0
+        self.busy_cycles_total = 0.0
+        self.flits_sent = 0
+        self.transition_count = 0
+        self.transition_energy_j = 0.0
+        self.link_energy_j = 0.0
+        self.dead_cycles = 0
+        self._power_w = self._steady_power_w(level)
+        self._last_energy_cycle = 0
+        self._serialization_cycles = table.serialization_ratio(level, router_clock_hz)
+        #: Count of completed adjacent steps up/down, for diagnostics.
+        self.level_step_counts = {"up": 0, "down": 0}
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Level whose *frequency* is currently in effect."""
+        return self._level
+
+    @property
+    def voltage_level(self) -> int:
+        """Level whose *voltage* is currently applied (differs mid-ramp)."""
+        return self._voltage_level
+
+    @property
+    def target_level(self) -> int:
+        """Level the channel is heading toward (== level when steady)."""
+        return self._target_level
+
+    @property
+    def phase(self) -> ChannelPhase:
+        return self._phase
+
+    @property
+    def is_steady(self) -> bool:
+        return self._phase is ChannelPhase.STEADY and self._level == self._target_level
+
+    @property
+    def functional(self) -> bool:
+        """Whether the link can carry flits right now."""
+        return not self.locked
+
+    @property
+    def serialization_cycles(self) -> float:
+        """Router cycles one flit occupies the wire at the current level."""
+        return self._serialization_cycles
+
+    @property
+    def pending_event_cycle(self) -> int | None:
+        """Router cycle at which :meth:`on_phase_end` must be called next."""
+        return self._phase_end_cycle
+
+    @property
+    def power_w(self) -> float:
+        """Instantaneous channel power (all lanes) in watts."""
+        return self._power_w
+
+    @property
+    def total_energy_j(self) -> float:
+        """Link energy integrated so far plus regulator transition overheads."""
+        return self.link_energy_j + self.transition_energy_j
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def request_level(self, target_level: int, now: int) -> bool:
+        """Ask the channel to move to *target_level*.
+
+        Returns ``True`` if the request was accepted (a transition started
+        or the channel is already there), ``False`` if the channel is
+        mid-transition and the request was dropped — the paper's policy
+        simply retries at a later history window.
+        """
+        target_level = self.table.clamp(target_level)
+        if not self.is_steady:
+            return False
+        if target_level == self._level:
+            return True
+        self._target_level = target_level
+        self._begin_step(now)
+        return True
+
+    def force_level(self, level: int, now: int = 0) -> None:
+        """Jump instantaneously to *level* (initialization / tests only)."""
+        if not self.is_steady:
+            raise LinkStateError("cannot force a level during a transition")
+        level = self.table.clamp(level)
+        self._accrue_energy(now)
+        self._level = level
+        self._voltage_level = level
+        self._target_level = level
+        self._serialization_cycles = self.table.serialization_ratio(
+            level, self.router_clock_hz
+        )
+        self._power_w = self._steady_power_w(level)
+
+    def on_phase_end(self, now: int) -> int | None:
+        """Advance the state machine at a phase boundary.
+
+        Must be called exactly at :attr:`pending_event_cycle`. Returns the
+        next boundary cycle if the transition continues, else ``None``.
+        """
+        if self._phase_end_cycle is None:
+            raise LinkStateError("no phase end is pending")
+        if now != self._phase_end_cycle:
+            raise LinkStateError(
+                f"phase end expected at cycle {self._phase_end_cycle}, got {now}"
+            )
+        self._accrue_energy(now)
+        going_up = self._target_level > self._level
+
+        if self._phase is ChannelPhase.VOLTAGE_RAMP:
+            if going_up:
+                # Voltage reached the next level; now retune the frequency
+                # (link dead, timed in old link clocks).
+                self._voltage_level = self._level + 1
+                self._start_frequency_lock(now)
+            else:
+                # Downward step complete: voltage has settled at the new level.
+                self._voltage_level = self._level
+                self._finish_step(now, step="down")
+        elif self._phase is ChannelPhase.FREQUENCY_LOCK:
+            self.dead_cycles += self._frequency_lock_duration()
+            if going_up:
+                # Frequency now matches the already-raised voltage.
+                self._level += 1
+                self._finish_step(now, step="up")
+            else:
+                # Frequency dropped; ramp the voltage down (link functional).
+                self._level -= 1
+                self._serialization_cycles = self.table.serialization_ratio(
+                    self._level, self.router_clock_hz
+                )
+                self._start_voltage_ramp(now)
+        else:
+            raise LinkStateError("phase end fired while channel was steady")
+        return self._phase_end_cycle
+
+    # ------------------------------------------------------------------
+    # Wire occupancy
+    # ------------------------------------------------------------------
+
+    def can_accept_flit(self, now: float) -> bool:
+        """Whether a flit handed over at router cycle *now* can be taken.
+
+        The channel interface includes a one-flit output staging register:
+        a flit is accepted if its serialization can *start* within this
+        router cycle (``busy_until < now + 1``), so a link whose per-flit
+        occupancy is fractional (e.g. 1.33 router cycles) sustains its full
+        rated bandwidth despite router-clock-aligned handovers.
+        """
+        return self.functional and self.busy_until < now + 1
+
+    def send_flit(self, now: float) -> float:
+        """Accept one flit; return the cycle its serialization completes."""
+        if not self.functional:
+            raise LinkStateError("flit sent while link is locked out")
+        if self.busy_until >= now + 1:
+            raise LinkStateError(
+                f"flit sent at {now} while wire busy until {self.busy_until}"
+            )
+        start = self.busy_until if self.busy_until > now else now
+        occupancy = self._serialization_cycles
+        self.busy_until = start + occupancy
+        self.busy_cycles_total += occupancy
+        self.flits_sent += 1
+        return self.busy_until
+
+    # ------------------------------------------------------------------
+    # Energy
+    # ------------------------------------------------------------------
+
+    def finalize(self, now: int) -> None:
+        """Integrate energy up to *now* (call once at end of simulation)."""
+        self._accrue_energy(now)
+
+    def average_power_w(self, now: int) -> float:
+        """Mean channel power from cycle 0 to *now* (finalizes bookkeeping)."""
+        if now <= 0:
+            return self._power_w
+        self._accrue_energy(now)
+        return self.total_energy_j / (now / self.router_clock_hz)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _steady_power_w(self, level: int) -> float:
+        return self.power_model.channel_power_w(self.table, level, self.lanes)
+
+    def _accrue_energy(self, now: int) -> None:
+        if now < self._last_energy_cycle:
+            raise LinkStateError(
+                f"time ran backwards: {now} < {self._last_energy_cycle}"
+            )
+        elapsed = now - self._last_energy_cycle
+        if elapsed:
+            self.link_energy_j += self._power_w * (elapsed / self.router_clock_hz)
+            self._last_energy_cycle = now
+
+    def _begin_step(self, now: int) -> None:
+        """Start one adjacent-level step toward the target."""
+        self._accrue_energy(now)
+        # Never start a phase while a flit is mid-wire.
+        start = max(now, int(math.ceil(self.busy_until)))
+        if self._target_level > self._level:
+            self._start_voltage_ramp(start, charge_to=self._level + 1)
+        else:
+            self._start_frequency_lock(start)
+
+    def _start_voltage_ramp(self, now: int, charge_to: int | None = None) -> None:
+        """Begin a voltage ramp; link stays functional.
+
+        During the ramp the channel is conservatively billed at the higher
+        of the two levels' voltages (the regulator holds the rail at or
+        between them; billing high keeps the savings estimate pessimistic,
+        matching the paper's "very conservative assumptions").
+        """
+        self._accrue_energy(now)
+        if charge_to is not None:
+            # Upward step: voltage heads to the next level's rail.
+            high_level = charge_to
+            low_voltage = self.table.voltage(self._voltage_level)
+            high_voltage = self.table.voltage(charge_to)
+        else:
+            # Downward step: voltage falls from the old level's rail.
+            high_level = self._voltage_level
+            low_voltage = self.table.voltage(self._level)
+            high_voltage = self.table.voltage(self._voltage_level)
+        self.transition_energy_j += self.regulator.transition_energy_j(
+            low_voltage, high_voltage
+        )
+        self.transition_count += 1
+        # Bill the ramp at the higher level's power point, at the frequency
+        # currently in effect.
+        self._power_w = self.lanes * self.power_model.power_w(
+            VFOperatingPoint(
+                frequency_hz=self.table.frequency(self._level),
+                voltage_v=self.table.voltage(high_level),
+            )
+        )
+        self._phase = ChannelPhase.VOLTAGE_RAMP
+        self.locked = False
+        duration = max(1, self.timing.voltage_cycles(self.router_clock_hz))
+        self._phase_end_cycle = now + duration
+
+    def _frequency_lock_duration(self) -> int:
+        return max(
+            1,
+            self.timing.frequency_cycles(
+                self.table.frequency(self._level), self.router_clock_hz
+            ),
+        )
+
+    def _start_frequency_lock(self, now: int) -> None:
+        self._accrue_energy(now)
+        self._phase = ChannelPhase.FREQUENCY_LOCK
+        self.locked = True
+        self._phase_end_cycle = now + self._frequency_lock_duration()
+
+    def _finish_step(self, now: int, step: str) -> None:
+        self.level_step_counts[step] += 1
+        self._voltage_level = self._level
+        self._serialization_cycles = self.table.serialization_ratio(
+            self._level, self.router_clock_hz
+        )
+        self._power_w = self._steady_power_w(self._level)
+        self._phase = ChannelPhase.STEADY
+        self.locked = False
+        if self._level != self._target_level:
+            self._begin_step(now)
+        else:
+            self._phase_end_cycle = None

@@ -1,0 +1,167 @@
+"""Voltage/frequency operating points of a DVS link.
+
+The paper's multi-level DVS link model (Section 2, Figure 2) supports ten
+discrete frequency levels with corresponding minimum supply voltages,
+spanning 125 MHz / 0.9 V up to 1 GHz / 2.5 V for the serial links of the
+evaluated router (Section 4.2). Only the two endpoints and the level count
+are published; we build the table with evenly spaced frequencies and
+linearly interpolated voltages between the endpoints, which matches the
+staircase sketched in the paper's Figure 2.
+
+Levels here are indexed by **ascending frequency**: level 0 is the slowest
+(lowest-voltage) point and level ``n-1`` the fastest. The paper's
+Algorithm 1 indexes its table fastest-first; its ``CurLevel + 1`` ("go
+slower") is our ``level - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ConfigError
+from ..units import ghz, mhz
+
+
+@dataclass(frozen=True, slots=True)
+class VFOperatingPoint:
+    """One (frequency, voltage) operating point of a DVS link.
+
+    Attributes:
+        frequency_hz: Link clock frequency in hertz.
+        voltage_v: Minimum supply voltage at which the link circuitry meets
+            timing (and the published BER target) at this frequency.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0.0:
+            raise ConfigError(f"frequency must be positive, got {self.frequency_hz!r}")
+        if self.voltage_v <= 0.0:
+            raise ConfigError(f"voltage must be positive, got {self.voltage_v!r}")
+
+
+class VFTable:
+    """An ordered table of voltage/frequency operating points.
+
+    The table is immutable once constructed and validated to be strictly
+    increasing in frequency and non-decreasing in voltage (a faster link can
+    never require a *lower* minimum supply voltage).
+    """
+
+    def __init__(self, points: Sequence[VFOperatingPoint]):
+        if len(points) < 2:
+            raise ConfigError("a VF table needs at least two levels")
+        for lower, upper in zip(points, points[1:]):
+            if upper.frequency_hz <= lower.frequency_hz:
+                raise ConfigError(
+                    "VF table frequencies must be strictly increasing: "
+                    f"{lower.frequency_hz} then {upper.frequency_hz}"
+                )
+            if upper.voltage_v < lower.voltage_v:
+                raise ConfigError(
+                    "VF table voltages must be non-decreasing: "
+                    f"{lower.voltage_v} then {upper.voltage_v}"
+                )
+        self._points = tuple(points)
+
+    @classmethod
+    def from_endpoints(
+        cls,
+        *,
+        levels: int = 10,
+        min_frequency_hz: float = mhz(125.0),
+        max_frequency_hz: float = ghz(1.0),
+        min_voltage_v: float = 0.9,
+        max_voltage_v: float = 2.5,
+    ) -> "VFTable":
+        """Build the paper's table: evenly spaced frequencies, linear voltage.
+
+        Defaults reproduce Section 4.2: ten levels from 125 MHz / 0.9 V to
+        1 GHz / 2.5 V.
+        """
+        if levels < 2:
+            raise ConfigError(f"need at least two levels, got {levels}")
+        if min_frequency_hz >= max_frequency_hz:
+            raise ConfigError("min frequency must be below max frequency")
+        if min_voltage_v > max_voltage_v:
+            raise ConfigError("min voltage must not exceed max voltage")
+        freq_step = (max_frequency_hz - min_frequency_hz) / (levels - 1)
+        volt_step = (max_voltage_v - min_voltage_v) / (levels - 1)
+        points = [
+            VFOperatingPoint(
+                frequency_hz=min_frequency_hz + i * freq_step,
+                voltage_v=min_voltage_v + i * volt_step,
+            )
+            for i in range(levels)
+        ]
+        return cls(points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[VFOperatingPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, level: int) -> VFOperatingPoint:
+        if not 0 <= level < len(self._points):
+            raise ConfigError(
+                f"level {level} out of range [0, {len(self._points) - 1}]"
+            )
+        return self._points[level]
+
+    @property
+    def max_level(self) -> int:
+        """Index of the fastest operating point."""
+        return len(self._points) - 1
+
+    @property
+    def points(self) -> tuple[VFOperatingPoint, ...]:
+        """All operating points, slowest first."""
+        return self._points
+
+    def frequency(self, level: int) -> float:
+        """Link frequency (Hz) at *level*."""
+        return self[level].frequency_hz
+
+    def voltage(self, level: int) -> float:
+        """Minimum supply voltage (V) at *level*."""
+        return self[level].voltage_v
+
+    def clamp(self, level: int) -> int:
+        """Clamp *level* into the valid index range."""
+        return max(0, min(self.max_level, level))
+
+    def level_for_frequency(self, frequency_hz: float) -> int:
+        """Lowest level whose frequency is >= *frequency_hz* (clamped)."""
+        for index, point in enumerate(self._points):
+            if point.frequency_hz >= frequency_hz:
+                return index
+        return self.max_level
+
+    def serialization_ratio(self, level: int, router_clock_hz: float) -> float:
+        """Router cycles one link clock occupies at *level*.
+
+        A flit crosses the channel in exactly one link clock (8 serial links
+        with 4:1 mux carry a 32-bit flit per link clock), so this is also
+        the per-flit channel occupancy in router cycles: 1.0 at the top
+        level for the paper's parameters, 8.0 at the bottom.
+        """
+        if router_clock_hz <= 0.0:
+            raise ConfigError("router clock must be positive")
+        return router_clock_hz / self[level].frequency_hz
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering of the table."""
+        lines = ["level  freq(MHz)  voltage(V)"]
+        for index, point in enumerate(self._points):
+            lines.append(
+                f"{index:>5}  {point.frequency_hz / 1e6:>9.1f}  {point.voltage_v:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: The table used throughout the paper's evaluation (Section 4.2).
+PAPER_TABLE = VFTable.from_endpoints()

@@ -1,0 +1,172 @@
+"""Link power and transition-energy models.
+
+The paper publishes two anchor points for a single serial link (Section
+4.2): 23.6 mW at 125 MHz / 0.9 V and 200 mW at 1 GHz / 2.5 V. A pure
+``C*V^2*f`` dynamic-power model cannot pass through both (the ratio of the
+anchors is ~8.5x while ``V^2*f`` spans ~62x), because high-speed link
+circuits burn a large static/bias component (current-mode drivers, clock
+recovery). We therefore fit the two-term model
+
+    P(V, f) = k1 * V^2 * f  +  k2 * V
+
+exactly through the two anchors: the first term is conventional switching
+power, the second a supply-proportional bias-current term. Both fitted
+coefficients come out positive for the paper's anchors, which keeps the
+model physically sensible and monotone in level.
+
+Transition energy follows Stratakos's first-order estimate (paper Eq. (1)):
+
+    E_overhead = (1 - eta) * C * |V2^2 - V1^2|
+
+with the paper's values C = 5 uF filter capacitance and eta = 90% regulator
+efficiency. One adaptive power-supply regulator feeds all serial links of a
+channel (Figure 1), so transition energy is charged per *channel*, not per
+link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .levels import VFOperatingPoint, VFTable
+
+
+def transition_energy(
+    voltage_from_v: float,
+    voltage_to_v: float,
+    *,
+    filter_capacitance_f: float = 5.0e-6,
+    efficiency: float = 0.9,
+) -> float:
+    """Regulator energy overhead (J) for a voltage transition, paper Eq. (1).
+
+    Symmetric in direction: ramping 0.9 V -> 2.5 V costs the same overhead
+    as 2.5 V -> 0.9 V under this first-order estimate.
+    """
+    if filter_capacitance_f <= 0.0:
+        raise ConfigError("filter capacitance must be positive")
+    if not 0.0 <= efficiency < 1.0:
+        raise ConfigError(f"efficiency must be in [0, 1), got {efficiency!r}")
+    if voltage_from_v <= 0.0 or voltage_to_v <= 0.0:
+        raise ConfigError("voltages must be positive")
+    return (
+        (1.0 - efficiency)
+        * filter_capacitance_f
+        * abs(voltage_to_v**2 - voltage_from_v**2)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RegulatorModel:
+    """Adaptive power-supply regulator shared by the links of one channel."""
+
+    filter_capacitance_f: float = 5.0e-6
+    efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.filter_capacitance_f <= 0.0:
+            raise ConfigError("filter capacitance must be positive")
+        if not 0.0 <= self.efficiency < 1.0:
+            raise ConfigError("efficiency must be in [0, 1)")
+
+    def transition_energy_j(self, voltage_from_v: float, voltage_to_v: float) -> float:
+        """Energy overhead of one voltage transition (J)."""
+        return transition_energy(
+            voltage_from_v,
+            voltage_to_v,
+            filter_capacitance_f=self.filter_capacitance_f,
+            efficiency=self.efficiency,
+        )
+
+
+class LinkPowerModel:
+    """Per-link power as a function of operating point.
+
+    Fitted as ``P = k1*V^2*f + k2*V`` through two anchor operating points.
+    The default anchors are the paper's published endpoints.
+    """
+
+    def __init__(
+        self,
+        *,
+        low_anchor: VFOperatingPoint | None = None,
+        low_power_w: float = 23.6e-3,
+        high_anchor: VFOperatingPoint | None = None,
+        high_power_w: float = 200.0e-3,
+    ):
+        if low_anchor is None:
+            low_anchor = VFOperatingPoint(frequency_hz=125.0e6, voltage_v=0.9)
+        if high_anchor is None:
+            high_anchor = VFOperatingPoint(frequency_hz=1.0e9, voltage_v=2.5)
+        if low_power_w <= 0.0 or high_power_w <= 0.0:
+            raise ConfigError("anchor powers must be positive")
+        if high_power_w <= low_power_w:
+            raise ConfigError("high anchor power must exceed low anchor power")
+
+        # Solve the 2x2 linear system:
+        #   k1 * V1^2 f1 + k2 * V1 = P1
+        #   k1 * V2^2 f2 + k2 * V2 = P2
+        a11 = low_anchor.voltage_v**2 * low_anchor.frequency_hz
+        a12 = low_anchor.voltage_v
+        a21 = high_anchor.voltage_v**2 * high_anchor.frequency_hz
+        a22 = high_anchor.voltage_v
+        det = a11 * a22 - a12 * a21
+        if det == 0.0:
+            raise ConfigError("anchor points are degenerate; cannot fit power model")
+        k1 = (low_power_w * a22 - high_power_w * a12) / det
+        k2 = (a11 * high_power_w - a21 * low_power_w) / det
+        if k1 < 0.0 or k2 < 0.0:
+            raise ConfigError(
+                "fitted power model has a negative coefficient "
+                f"(k1={k1:.3e}, k2={k2:.3e}); anchors are not physically consistent"
+            )
+        self._k1 = k1
+        self._k2 = k2
+        self.low_anchor = low_anchor
+        self.high_anchor = high_anchor
+
+    @property
+    def switching_coefficient(self) -> float:
+        """k1 in ``P = k1*V^2*f + k2*V`` (F, an effective capacitance)."""
+        return self._k1
+
+    @property
+    def bias_coefficient(self) -> float:
+        """k2 in ``P = k1*V^2*f + k2*V`` (A, an effective bias current)."""
+        return self._k2
+
+    def power_w(self, point: VFOperatingPoint) -> float:
+        """Power (W) of one serial link at *point*."""
+        return (
+            self._k1 * point.voltage_v**2 * point.frequency_hz
+            + self._k2 * point.voltage_v
+        )
+
+    def level_power_w(self, table: VFTable, level: int) -> float:
+        """Power (W) of one serial link at *level* of *table*."""
+        return self.power_w(table[level])
+
+    def channel_power_w(self, table: VFTable, level: int, lanes: int = 8) -> float:
+        """Power (W) of a channel made of *lanes* serial links at *level*."""
+        if lanes <= 0:
+            raise ConfigError("a channel needs at least one lane")
+        return lanes * self.level_power_w(table, level)
+
+    def level_powers_w(self, table: VFTable) -> tuple[float, ...]:
+        """Per-link power for every level of *table*, slowest first."""
+        return tuple(self.power_w(point) for point in table)
+
+    def describe(self, table: VFTable) -> str:
+        """Render per-level power of *table* as a text table."""
+        lines = ["level  freq(MHz)  voltage(V)  power(mW)"]
+        for index, point in enumerate(table):
+            lines.append(
+                f"{index:>5}  {point.frequency_hz / 1e6:>9.1f}  "
+                f"{point.voltage_v:>10.3f}  {self.power_w(point) * 1e3:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+#: Model fitted through the paper's published endpoints.
+PAPER_LINK_POWER = LinkPowerModel()

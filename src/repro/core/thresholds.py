@@ -1,0 +1,76 @@
+"""Threshold presets for the history-based DVS policy.
+
+:data:`TABLE1_DEFAULT` reproduces the paper's Table 1 (the configuration
+used for the headline results) and :data:`TABLE2_SETTINGS` reproduces
+Table 2, the six progressively more aggressive light-load threshold pairs
+used in the trade-off study of Section 4.4.2 (Figures 13-15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdSet:
+    """The four decision thresholds plus the congestion litmus level.
+
+    When predicted input-buffer utilization is below ``congested_bu`` the
+    network is considered uncongested and the light-load pair
+    ``(low_uncongested, high_uncongested)`` applies; otherwise the
+    congested pair applies. In either regime, predicted link utilization
+    below the low threshold steps the link down a level; above the high
+    threshold steps it up.
+    """
+
+    low_uncongested: float = 0.3
+    high_uncongested: float = 0.4
+    low_congested: float = 0.6
+    high_congested: float = 0.7
+    congested_bu: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "low_uncongested",
+            "high_uncongested",
+            "low_congested",
+            "high_congested",
+            "congested_bu",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+        if self.low_uncongested >= self.high_uncongested:
+            raise ConfigError(
+                "uncongested low threshold must be below the high threshold"
+            )
+        if self.low_congested >= self.high_congested:
+            raise ConfigError(
+                "congested low threshold must be below the high threshold"
+            )
+
+    def select(self, predicted_bu: float) -> tuple[float, float]:
+        """Return the ``(T_low, T_high)`` pair for *predicted_bu*."""
+        if predicted_bu < self.congested_bu:
+            return self.low_uncongested, self.high_uncongested
+        return self.low_congested, self.high_congested
+
+    def with_light_load_pair(self, low: float, high: float) -> "ThresholdSet":
+        """Copy with a replaced uncongested pair (the Table 2 knob)."""
+        return replace(self, low_uncongested=low, high_uncongested=high)
+
+
+#: Paper Table 1: W=3, H=200, B_congested=0.5, TL=(0.3, 0.4), TH=(0.6, 0.7).
+TABLE1_DEFAULT = ThresholdSet()
+
+#: Paper Table 2: light-load threshold pairs I..VI, least to most aggressive.
+TABLE2_SETTINGS: dict[str, ThresholdSet] = {
+    "I": TABLE1_DEFAULT.with_light_load_pair(0.2, 0.3),
+    "II": TABLE1_DEFAULT.with_light_load_pair(0.25, 0.35),
+    "III": TABLE1_DEFAULT.with_light_load_pair(0.3, 0.4),
+    "IV": TABLE1_DEFAULT.with_light_load_pair(0.35, 0.45),
+    "V": TABLE1_DEFAULT.with_light_load_pair(0.4, 0.5),
+    "VI": TABLE1_DEFAULT.with_light_load_pair(0.5, 0.6),
+}

@@ -1,0 +1,31 @@
+"""Experiment harness: per-figure reproductions of the paper's evaluation.
+
+Every table and figure in the paper's Section 4 has a function in
+:mod:`repro.harness.experiments` that regenerates it (workload, sweep,
+baseline and the reported rows/series), at a configurable scale
+(:class:`~repro.harness.scales.ExperimentScale`). ``benchmarks/`` wraps
+each one in a pytest-benchmark target.
+"""
+
+from .runner import build_simulator, run_simulation
+from .scales import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale, get_scale
+from .sweep import SweepPoint, compare_policies, rate_sweep, zero_load_latency
+from .tables import render_table
+from .serialization import to_json, write_json
+
+__all__ = [
+    "build_simulator",
+    "run_simulation",
+    "ExperimentScale",
+    "SMOKE_SCALE",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "get_scale",
+    "SweepPoint",
+    "rate_sweep",
+    "compare_policies",
+    "zero_load_latency",
+    "render_table",
+    "to_json",
+    "write_json",
+]

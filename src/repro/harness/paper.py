@@ -1,0 +1,99 @@
+"""The paper's reported numbers, as structured data.
+
+Everything the paper states quantitatively about its evaluation, encoded
+once so benches, docs and tests reference a single source instead of
+scattering magic numbers. Values are reproduced from the text of
+Shang, Peh & Jha (HPCA 2003); section/figure references are noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PaperClaim:
+    """One quantitative claim from the paper."""
+
+    metric: str
+    value: float
+    source: str
+    #: Whether this reproduction matches the claim's *shape* (EXPERIMENTS.md
+    #: carries the measured values and analysis).
+    reproduced: bool
+
+
+#: The abstract's headline results (Sections 1 and 4.4.1).
+HEADLINE_CLAIMS = (
+    PaperClaim("max_power_savings_x", 6.3, "abstract / Fig 10", True),
+    PaperClaim("avg_power_savings_x", 4.6, "abstract / Fig 10", True),
+    PaperClaim("zero_load_latency_increase", 0.108, "Sec 4.4.1", False),
+    PaperClaim("presaturation_latency_increase", 0.152, "abstract / Sec 4.4.1", False),
+    PaperClaim("throughput_reduction", 0.025, "abstract / Sec 4.4.1", True),
+    PaperClaim("max_power_savings_50tasks_x", 6.4, "Sec 4.4.1 / Fig 11", True),
+    PaperClaim("avg_power_savings_50tasks_x", 4.9, "Sec 4.4.1 / Fig 11", True),
+)
+
+#: DVS link electrical facts (Sections 2 and 4.2).
+LINK_FACTS = {
+    "levels": 10,
+    "min_frequency_hz": 125.0e6,
+    "max_frequency_hz": 1.0e9,
+    "min_voltage_v": 0.9,
+    "max_voltage_v": 2.5,
+    "min_link_power_w": 23.6e-3,
+    "max_link_power_w": 200.0e-3,
+    "lanes_per_channel": 8,
+    "mux_ratio": 4,
+    "channel_bandwidth_bps": 32.0e9,
+    "voltage_transition_s": 10.0e-6,
+    "frequency_transition_link_cycles": 100,
+    "filter_capacitance_f": 5.0e-6,
+    "regulator_efficiency": 0.9,
+    "variable_freq_link_potential_savings_x": 10.0,  # Sec 1 [12, 29]
+}
+
+#: Router microarchitecture (Section 4.2).
+ROUTER_FACTS = {
+    "mesh_radix": 8,
+    "router_clock_hz": 1.0e9,
+    "virtual_channels": 2,
+    "flit_buffers_per_port": 128,
+    "flits_per_packet": 5,
+    "flit_bits": 32,
+    "pipeline_stages": 13,
+    "nominal_network_power_w": 409.6,  # 64 * 4 * 8 * 0.2
+    "link_power_fraction": 0.824,      # Fig 7
+    "allocator_power_w": 0.081,        # Sec 4.2
+}
+
+#: Workload model constants the paper *does* publish (Section 4.3).
+WORKLOAD_FACTS = {
+    "on_shape": 1.4,
+    "off_shape": 1.2,
+    "onoff_sources_per_task": 128,
+    "task_counts": (50, 100),
+    "task_duration_range_s": (1.0e-6, 1.0e-3),
+    "fig15_rate_packets_per_cycle": 1.7,
+}
+
+#: Controller hardware (Section 3.3).
+HARDWARE_FACTS = {
+    "gate_count": 500,
+    "max_power_w": 3.0e-3,
+}
+
+#: Comparative context the introduction cites.
+CONTEXT_FACTS = {
+    "alpha21364_router_links_w": 23.0,
+    "alpha21364_link_fraction": 0.58,
+    "mellanox_network_w": 15.0,
+    "mellanox_total_w": 40.0,
+    "ibm_switch_total_w": 31.0,
+    "ibm_switch_link_fraction": 0.65,
+}
+
+
+def headline_table() -> list[tuple[str, float, str]]:
+    """(metric, paper value, source) rows for rendering."""
+    return [(c.metric, c.value, c.source) for c in HEADLINE_CLAIMS]

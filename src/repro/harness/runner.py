@@ -1,0 +1,22 @@
+"""Thin construction/run helpers around the simulator."""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..network.simulator import SimulationResult, Simulator
+
+
+def build_simulator(
+    config: SimulationConfig, *, traffic=None, series_window: int = 0
+) -> Simulator:
+    """Construct a fully wired simulator for *config*."""
+    return Simulator(config, traffic=traffic, series_window=series_window)
+
+
+def run_simulation(
+    config: SimulationConfig, *, traffic=None, series_window: int = 0
+) -> SimulationResult:
+    """Build, warm up, measure, and summarize one simulation."""
+    return build_simulator(
+        config, traffic=traffic, series_window=series_window
+    ).run()

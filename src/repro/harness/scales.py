@@ -1,0 +1,157 @@
+"""Experiment scale presets.
+
+The paper simulates 10M cycles per point with 10 us voltage ramps and 1 ms
+task sessions — a hierarchy of timescales (history window 200 << transition
+~10k << task 1M << horizon 10M) that a pure-Python simulator cannot afford
+per sweep point. A scale preset shrinks the three long timescales by a
+common factor so the *control dynamics* (how many windows per transition,
+transitions per task, tasks per run) stay paper-like:
+
+* ``PAPER_SCALE`` — the paper's own numbers; use for one-off validation
+  runs (minutes per point).
+* ``DEFAULT_SCALE`` — 10x shrink: 1 us ramps, 10-link-cycle locks, 100 us
+  tasks, 100k-cycle points. The benchmark suite default.
+* ``SMOKE_SCALE`` — 50x shrink on a small mesh for tests and quick looks.
+
+EXPERIMENTS.md discusses which observables are scale-sensitive.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..config import (
+    DVSControlConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """A coherent set of shrunk timescales plus sweep sizing."""
+
+    name: str
+    radix: int
+    warmup_cycles: int
+    measure_cycles: int
+    voltage_transition_s: float
+    frequency_transition_link_cycles: int
+    average_task_duration_s: float
+    onoff_sources_per_task: int
+    sweep_rates: tuple[float, ...]
+
+    def network(self, **overrides) -> NetworkConfig:
+        return NetworkConfig(radix=self.radix, dimensions=2, **overrides)
+
+    def link(self, **overrides) -> LinkConfig:
+        params = dict(
+            voltage_transition_s=self.voltage_transition_s,
+            frequency_transition_link_cycles=self.frequency_transition_link_cycles,
+        )
+        params.update(overrides)
+        return LinkConfig(**params)
+
+    def workload(self, injection_rate: float, **overrides) -> WorkloadConfig:
+        params = dict(
+            kind="two_level",
+            injection_rate=injection_rate,
+            average_tasks=100,
+            average_task_duration_s=self.average_task_duration_s,
+            onoff_sources_per_task=self.onoff_sources_per_task,
+            seed=1,
+        )
+        params.update(overrides)
+        return WorkloadConfig(**params)
+
+    def simulation(
+        self,
+        injection_rate: float,
+        *,
+        policy: str = "history",
+        dvs: DVSControlConfig | None = None,
+        workload_overrides: dict | None = None,
+        network_overrides: dict | None = None,
+        link_overrides: dict | None = None,
+    ) -> SimulationConfig:
+        """A full simulation config at this scale."""
+        if dvs is None:
+            dvs = DVSControlConfig(policy=policy)
+        return SimulationConfig(
+            network=self.network(**(network_overrides or {})),
+            link=self.link(**(link_overrides or {})),
+            dvs=dvs,
+            workload=self.workload(injection_rate, **(workload_overrides or {})),
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+        )
+
+    def shrink(self, factor: float) -> "ExperimentScale":
+        """A further-shrunk copy (for extra-cheap variants of one figure)."""
+        if factor <= 0.0 or factor > 1.0:
+            raise ExperimentError("shrink factor must be in (0, 1]")
+        return replace(
+            self,
+            warmup_cycles=max(1000, int(self.warmup_cycles * factor)),
+            measure_cycles=max(2000, int(self.measure_cycles * factor)),
+        )
+
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    radix=8,
+    warmup_cycles=200_000,
+    measure_cycles=800_000,
+    voltage_transition_s=10.0e-6,
+    frequency_transition_link_cycles=100,
+    average_task_duration_s=1.0e-3,
+    onoff_sources_per_task=128,
+    sweep_rates=(0.2, 0.5, 0.8, 1.1, 1.4, 1.7, 2.0),
+)
+
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    radix=8,
+    warmup_cycles=10_000,
+    measure_cycles=30_000,
+    voltage_transition_s=1.0e-6,
+    frequency_transition_link_cycles=10,
+    average_task_duration_s=100.0e-6,
+    onoff_sources_per_task=64,
+    sweep_rates=(0.3, 0.7, 1.1, 1.5, 1.9),
+)
+
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    radix=4,
+    warmup_cycles=2_000,
+    measure_cycles=6_000,
+    voltage_transition_s=0.2e-6,
+    frequency_transition_link_cycles=4,
+    average_task_duration_s=20.0e-6,
+    onoff_sources_per_task=16,
+    sweep_rates=(0.2, 0.6, 1.0),
+)
+
+_SCALES = {scale.name: scale for scale in (PAPER_SCALE, DEFAULT_SCALE, SMOKE_SCALE)}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Look up a scale preset by name.
+
+    With no argument, honors the ``REPRO_SCALE`` environment variable and
+    falls back to ``default`` — so ``REPRO_SCALE=paper pytest benchmarks/``
+    reruns the whole suite at paper fidelity.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

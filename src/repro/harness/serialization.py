@@ -1,0 +1,45 @@
+"""JSON serialization of experiment results.
+
+Experiment result objects are nested dataclasses containing floats, ints,
+dicts and lists; :func:`to_json` converts them recursively (dataclasses to
+dicts, NaN preserved as the string ``"nan"`` for portability) and
+:func:`write_json` persists them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+
+def to_json(obj):
+    """Recursively convert *obj* into JSON-compatible primitives."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_json(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_json(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_json(item) for item in obj]
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    # Fall back to repr for exotic leaves (enums, objects) — lossy but
+    # never raises, which matters for best-effort experiment archiving.
+    return repr(obj)
+
+
+def write_json(obj, path: str | Path) -> Path:
+    """Serialize *obj* with :func:`to_json` and write it to *path*."""
+    path = Path(path)
+    path.write_text(json.dumps(to_json(obj), indent=2))
+    return path

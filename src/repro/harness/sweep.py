@@ -1,0 +1,141 @@
+"""Injection-rate sweeps and derived summary numbers.
+
+The paper's latency/throughput figures are sweeps of offered load; this
+module runs them, pairs DVS against baselines on identical workload seeds,
+and computes the paper's summary statistics (zero-load latency increase,
+average pre-saturation latency increase, throughput delta, power savings).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import DVSControlConfig, SimulationConfig
+from ..errors import ExperimentError
+from ..metrics.throughput import saturation_point
+from .runner import run_simulation
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One offered-load point of a sweep."""
+
+    target_rate: float
+    offered_rate: float
+    accepted_rate: float
+    mean_latency: float
+    median_latency: float
+    normalized_power: float
+    savings_factor: float
+    transition_count: int
+
+    @classmethod
+    def from_result(cls, target_rate: float, result) -> "SweepPoint":
+        return cls(
+            target_rate=target_rate,
+            offered_rate=result.offered_rate,
+            accepted_rate=result.accepted_rate,
+            mean_latency=result.latency.mean,
+            median_latency=result.latency.median,
+            normalized_power=result.power.normalized,
+            savings_factor=result.power.savings_factor,
+            transition_count=result.power.transition_count,
+        )
+
+
+def rate_sweep(base_config: SimulationConfig, rates) -> list[SweepPoint]:
+    """Run *base_config* at each offered rate in *rates*."""
+    points = []
+    for rate in rates:
+        result = run_simulation(base_config.with_rate(rate))
+        points.append(SweepPoint.from_result(rate, result))
+    return points
+
+
+def compare_policies(
+    base_config: SimulationConfig,
+    rates,
+    policies: dict[str, DVSControlConfig],
+) -> dict[str, list[SweepPoint]]:
+    """Sweep the same rates (same workload seeds) under several policies."""
+    if not policies:
+        raise ExperimentError("need at least one policy to compare")
+    return {
+        name: rate_sweep(base_config.with_dvs(dvs), rates)
+        for name, dvs in policies.items()
+    }
+
+
+def zero_load_latency(base_config: SimulationConfig, rate: float = 0.05) -> float:
+    """Mean latency at a near-zero offered load (paper's reference point)."""
+    result = run_simulation(base_config.with_rate(rate))
+    if result.latency.count == 0:
+        raise ExperimentError("no packets completed at the zero-load rate")
+    return result.latency.mean
+
+
+@dataclass(frozen=True, slots=True)
+class SweepComparison:
+    """Paper-style summary of a DVS sweep against a baseline sweep."""
+
+    zero_load_increase: float
+    average_presaturation_increase: float
+    throughput_change: float
+    max_savings: float
+    average_savings: float
+
+    def describe(self) -> str:
+        return (
+            f"zero-load latency {self.zero_load_increase:+.1%}, "
+            f"pre-saturation latency {self.average_presaturation_increase:+.1%}, "
+            f"throughput {self.throughput_change:+.1%}, "
+            f"power savings up to {self.max_savings:.1f}X "
+            f"({self.average_savings:.1f}X average)"
+        )
+
+
+def summarize_comparison(
+    baseline: list[SweepPoint], dvs: list[SweepPoint]
+) -> SweepComparison:
+    """Compute the paper's headline numbers from paired sweeps.
+
+    Pre-saturation points are those where the *baseline* latency is below
+    twice its zero-load (first-point) latency, following the paper's
+    saturation rule; savings statistics use the same points.
+    """
+    if len(baseline) != len(dvs) or not baseline:
+        raise ExperimentError("sweeps must be non-empty and aligned")
+    zero_base = baseline[0].mean_latency
+    zero_dvs = dvs[0].mean_latency
+    if not zero_base or math.isnan(zero_base) or math.isnan(zero_dvs):
+        raise ExperimentError("zero-load points did not produce latencies")
+
+    saturated_at = saturation_point(
+        [p.offered_rate for p in baseline],
+        [p.mean_latency for p in baseline],
+        zero_base,
+    )
+    pre = slice(0, saturated_at if saturated_at > 0 else len(baseline))
+    base_pre = baseline[pre]
+    dvs_pre = dvs[pre]
+    increases = [
+        d.mean_latency / b.mean_latency - 1.0
+        for b, d in zip(base_pre, dvs_pre)
+        if not math.isnan(b.mean_latency) and not math.isnan(d.mean_latency)
+    ]
+    if not increases:
+        raise ExperimentError("no pre-saturation points with latencies")
+    savings = [p.savings_factor for p in dvs_pre]
+
+    return SweepComparison(
+        zero_load_increase=zero_dvs / zero_base - 1.0,
+        average_presaturation_increase=sum(increases) / len(increases),
+        throughput_change=(
+            max(p.accepted_rate for p in dvs)
+            / max(p.accepted_rate for p in baseline)
+            - 1.0
+        ),
+        max_savings=max(savings),
+        average_savings=sum(savings) / len(savings),
+    )

@@ -1,0 +1,48 @@
+"""ASCII table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ExperimentError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    columns: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render *rows* under *columns* as a fixed-width text table."""
+    if not columns:
+        raise ExperimentError("need at least one column")
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(columns):
+            raise ExperimentError(
+                f"row width {len(row)} does not match {len(columns)} columns"
+            )
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in cells), 1)
+        if cells
+        else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Fixed-bin histogram for utilization profiles (Figures 3-5)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class Histogram:
+    """Equal-width bins over ``[low, high)`` with clamping at the edges."""
+
+    __slots__ = ("low", "high", "bins", "counts", "_width", "total")
+
+    def __init__(self, bins: int = 10, low: float = 0.0, high: float = 1.0):
+        if bins < 1:
+            raise ConfigError("need at least one bin")
+        if high <= low:
+            raise ConfigError("high edge must exceed low edge")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self._width = (high - low) / bins
+        self.counts = [0] * bins
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        """Count *value* (values outside the range clamp to the edge bins)."""
+        index = int((value - self.low) / self._width)
+        if index < 0:
+            index = 0
+        elif index >= self.bins:
+            index = self.bins - 1
+        self.counts[index] += 1
+        self.total += 1
+
+    def frequencies(self) -> list[float]:
+        """Bin fractions (sum to 1.0; all zeros when empty)."""
+        if self.total == 0:
+            return [0.0] * self.bins
+        return [count / self.total for count in self.counts]
+
+    def bin_edges(self) -> list[float]:
+        """The ``bins + 1`` edges."""
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def mean(self) -> float:
+        """Mean of bin midpoints weighted by counts."""
+        if self.total == 0:
+            return 0.0
+        half = self._width / 2.0
+        return (
+            sum(
+                count * (self.low + i * self._width + half)
+                for i, count in enumerate(self.counts)
+            )
+            / self.total
+        )
+
+    def describe(self, label: str = "") -> str:
+        """ASCII rendering with one row per bin."""
+        lines = []
+        if label:
+            lines.append(label)
+        freqs = self.frequencies()
+        edges = self.bin_edges()
+        peak = max(freqs) if any(freqs) else 1.0
+        for i, freq in enumerate(freqs):
+            bar = "#" * int(round(40 * freq / peak)) if peak else ""
+            lines.append(f"[{edges[i]:5.2f},{edges[i + 1]:5.2f})  {freq:6.3f}  {bar}")
+        return "\n".join(lines)

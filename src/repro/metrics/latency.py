@@ -1,0 +1,91 @@
+"""Packet latency collection.
+
+Latency spans "the creation of the first flit of the packet to ejection of
+its last flit at the destination router, including source queuing time and
+assuming immediate ejection" (paper Section 4.2). The simulator feeds this
+collector every ejected packet created inside the measurement phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Summary of a latency sample set (cycles)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: int
+    maximum: int
+
+    @classmethod
+    def empty(cls) -> "LatencyStats":
+        return cls(
+            count=0,
+            mean=math.nan,
+            median=math.nan,
+            p95=math.nan,
+            p99=math.nan,
+            minimum=0,
+            maximum=0,
+        )
+
+
+class LatencyCollector:
+    """Accumulates per-packet latencies."""
+
+    __slots__ = ("_latencies",)
+
+    def __init__(self):
+        self._latencies: list[int] = []
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative packet latency {latency}")
+        self._latencies.append(latency)
+
+    def reset(self) -> None:
+        self._latencies.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def latencies(self) -> list[int]:
+        """The raw sample list (a copy)."""
+        return list(self._latencies)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100]."""
+        if not self._latencies:
+            raise SimulationError("no latency samples collected")
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile {q} out of range")
+        ordered = sorted(self._latencies)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return float(ordered[rank])
+
+    def stats(self) -> LatencyStats:
+        """Summary statistics (``LatencyStats.empty()`` when no samples)."""
+        if not self._latencies:
+            return LatencyStats.empty()
+        ordered = sorted(self._latencies)
+        n = len(ordered)
+        return LatencyStats(
+            count=n,
+            mean=sum(ordered) / n,
+            median=float(ordered[n // 2]),
+            p95=float(ordered[max(0, math.ceil(0.95 * n) - 1)]),
+            p99=float(ordered[max(0, math.ceil(0.99 * n) - 1)]),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )

@@ -1,0 +1,63 @@
+"""Throughput and the paper's saturation rule.
+
+"The saturation throughput of the network is where average packet latency
+worsens to more than twice the zero-load latency" (Section 4.2). Given a
+latency-vs-offered-rate sweep, :func:`saturation_point` finds the first
+offered rate whose average latency crosses that threshold, and
+:func:`saturation_throughput` reports the *accepted* rate there (the
+paper's throughput metric).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..errors import ExperimentError
+
+
+def saturation_point(
+    offered_rates: Sequence[float],
+    latencies: Sequence[float],
+    zero_load_latency: float,
+) -> int:
+    """Index of the first sweep point past saturation, or -1 if none.
+
+    Points whose latency is NaN (no packets finished — deep saturation)
+    also count as saturated.
+    """
+    if len(offered_rates) != len(latencies):
+        raise ExperimentError("rates and latencies must align")
+    if zero_load_latency <= 0.0:
+        raise ExperimentError("zero-load latency must be positive")
+    threshold = 2.0 * zero_load_latency
+    for index, latency in enumerate(latencies):
+        if math.isnan(latency) or latency > threshold:
+            return index
+    return -1
+
+
+def saturation_throughput(
+    offered_rates: Sequence[float],
+    accepted_rates: Sequence[float],
+    latencies: Sequence[float],
+    zero_load_latency: float,
+) -> float:
+    """Accepted rate at the last pre-saturation point.
+
+    If the sweep never saturates, the highest accepted rate observed is
+    returned (a lower bound on the true saturation throughput).
+    """
+    if len(offered_rates) != len(accepted_rates):
+        raise ExperimentError("rates must align")
+    index = saturation_point(offered_rates, latencies, zero_load_latency)
+    if index == 0:
+        raise ExperimentError(
+            "network is saturated at the lowest sweep point; sweep lower"
+        )
+    if index < 0:
+        return max(accepted_rates)
+    # Accepted throughput keeps rising a little past the latency knee; the
+    # paper reads throughput at saturation, which we approximate with the
+    # larger of the bracketing points.
+    return max(accepted_rates[index - 1], accepted_rates[index])

@@ -1,0 +1,36 @@
+"""Flit-level interconnection-network simulator substrate.
+
+Reimplements (in Python) the event-driven flit-level simulator the paper
+built in C++ (Section 4.1): k-ary n-cube topologies of pipelined
+virtual-channel routers with credit-based flow control, whose inter-router
+channels are DVS links with the transition behaviour of
+:mod:`repro.core.dvs_link`.
+"""
+
+from .packet import Flit, Packet
+from .topology import Coordinates, Topology
+from .routing import (
+    DimensionOrderRouting,
+    MinimalAdaptiveRouting,
+    RoutingFunction,
+    make_routing,
+)
+from .channel import NetworkChannel
+from .simulator import Simulator, SimulationResult
+from .stats import NetworkSnapshot, snapshot
+
+__all__ = [
+    "NetworkSnapshot",
+    "snapshot",
+    "Flit",
+    "Packet",
+    "Coordinates",
+    "Topology",
+    "RoutingFunction",
+    "DimensionOrderRouting",
+    "MinimalAdaptiveRouting",
+    "make_routing",
+    "NetworkChannel",
+    "Simulator",
+    "SimulationResult",
+]

@@ -1,0 +1,128 @@
+"""Simulation state auditing.
+
+:func:`audit` cross-checks the redundant state the simulator maintains —
+credit counters against actual downstream buffer occupancy plus in-flight
+flits and credits, occupancy trackers against buffer lengths, VC ownership
+flags against packet state — and returns a list of human-readable
+violations (empty when the state is consistent).
+
+This is a debugging and testing aid, deliberately O(network + event queue)
+per call; the test suite runs it at random points of randomized
+simulations, turning the whole simulator into a property under test.
+"""
+
+from __future__ import annotations
+
+from ..core.dvs_link import ChannelPhase
+from .router import EVENT_ARRIVAL, EVENT_CREDIT
+from .simulator import Simulator
+from .vc import UNROUTED
+
+
+def audit(simulator: Simulator) -> list[str]:
+    """Return all invariant violations found in *simulator*'s state."""
+    violations: list[str] = []
+    violations.extend(_audit_occupancy(simulator))
+    violations.extend(_audit_credits(simulator))
+    violations.extend(_audit_vc_state(simulator))
+    violations.extend(_audit_channels(simulator))
+    return violations
+
+
+def _in_flight(simulator: Simulator):
+    """(arrivals, credits) keyed by their destination coordinates."""
+    arrivals: dict[tuple[int, int, int], int] = {}
+    credits: dict[tuple[int, int, int], int] = {}
+    for bucket in simulator._events.values():
+        for event in bucket:
+            if event[0] == EVENT_ARRIVAL:
+                key = (event[1], event[2], event[3])  # node, port, vc
+                arrivals[key] = arrivals.get(key, 0) + 1
+            elif event[0] == EVENT_CREDIT:
+                key = (event[1], event[2], event[3])  # node, out_port, vc
+                credits[key] = credits.get(key, 0) + 1
+    return arrivals, credits
+
+
+def _audit_occupancy(simulator: Simulator) -> list[str]:
+    violations = []
+    for router in simulator.routers:
+        for port, tracker in enumerate(router.occupancy):
+            if tracker is None:
+                continue
+            actual = sum(len(vc.buffer) for vc in router.in_vcs[port])
+            if tracker.occupied != actual:
+                violations.append(
+                    f"node {router.node} port {port}: occupancy tracker says "
+                    f"{tracker.occupied}, buffers hold {actual}"
+                )
+        buffered = sum(
+            len(vc.buffer) for port_vcs in router.in_vcs for vc in port_vcs
+        )
+        if router.total_buffered != buffered:
+            violations.append(
+                f"node {router.node}: total_buffered {router.total_buffered} "
+                f"!= actual {buffered}"
+            )
+    return violations
+
+
+def _audit_credits(simulator: Simulator) -> list[str]:
+    """credits + downstream occupancy + in-flight flits + in-flight credits
+    must equal the buffer capacity, per (channel, VC)."""
+    violations = []
+    arrivals, credit_events = _in_flight(simulator)
+    for channel in simulator.channels:
+        spec = channel.spec
+        upstream = simulator.routers[spec.src_node]
+        downstream = simulator.routers[spec.dst_node]
+        state = upstream.credit_states[spec.src_port]
+        for vc in range(upstream.vcs_per_port):
+            held = len(downstream.in_vcs[spec.dst_port][vc].buffer)
+            flying = arrivals.get((spec.dst_node, spec.dst_port, vc), 0)
+            returning = credit_events.get((spec.src_node, spec.src_port, vc), 0)
+            total = state.credits[vc] + held + flying + returning
+            if total != state.capacity_per_vc:
+                violations.append(
+                    f"channel {spec.src_node}:{spec.src_port}->"
+                    f"{spec.dst_node}:{spec.dst_port} vc {vc}: credits "
+                    f"{state.credits[vc]} + held {held} + flying {flying} + "
+                    f"returning {returning} != capacity {state.capacity_per_vc}"
+                )
+    return violations
+
+
+def _audit_vc_state(simulator: Simulator) -> list[str]:
+    violations = []
+    for router in simulator.routers:
+        for port_vcs in router.in_vcs:
+            for vc in port_vcs:
+                if vc.out_port != UNROUTED and vc.out_port != router.local_port:
+                    if vc.out_vc == UNROUTED:
+                        violations.append(
+                            f"node {router.node}: routed VC without output VC"
+                        )
+                if vc.out_port == UNROUTED and vc.buffer.flits:
+                    head = vc.buffer.flits[0]
+                    if not head.is_head:
+                        violations.append(
+                            f"node {router.node}: body flit at head of an "
+                            "unrouted VC"
+                        )
+    return violations
+
+
+def _audit_channels(simulator: Simulator) -> list[str]:
+    violations = []
+    for channel in simulator.channels:
+        dvs = channel.dvs
+        if not 0 <= dvs.level <= dvs.table.max_level:
+            violations.append(f"{channel!r}: level out of range")
+        if dvs.is_steady and dvs.voltage_level != dvs.level:
+            violations.append(
+                f"{channel!r}: steady but voltage level {dvs.voltage_level} "
+                f"!= frequency level {dvs.level}"
+            )
+        if dvs.locked != (dvs.phase is ChannelPhase.FREQUENCY_LOCK):
+            violations.append(f"{channel!r}: locked flag out of sync with phase")
+    return violations

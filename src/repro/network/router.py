@@ -1,0 +1,402 @@
+"""Pipelined virtual-channel router.
+
+Models one router of the paper's network (Section 4.2): an input-queued VC
+router in the style of the Alpha 21364's integrated router, with
+
+* per-input-port VC buffers (128 flit slots split across 2 VCs by default),
+* route computation and VC allocation for head flits,
+* separable switch allocation with rotating priority per output port and at
+  most one grant per input port per cycle (crossbar speedup 1),
+* credit-based flow control with a configurable credit return delay,
+* a fixed pipeline latency applied to flits in flight, standing in for the
+  13-stage pipeline's stages between switch allocation and link traversal,
+* immediate ejection at the destination (one flit per VC per cycle, no
+  ejection-bandwidth artifacts, per the paper's latency definition).
+
+The router communicates with the rest of the network only through the
+simulator's event queue: launched flits become ARRIVAL events at the
+downstream router, dequeued flits become CREDIT events at the upstream
+router. The per-cycle :meth:`step` is the simulator's hot path and favors
+flat data structures over abstraction; invariants are still enforced by
+the flow-control primitives it calls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..errors import SimulationError
+from .arbiters import RoundRobinArbiter
+from .channel import NetworkChannel
+from .flowcontrol import CreditState, OccupancyTracker
+from .packet import Flit, Packet
+from .routing import RoutingFunction
+from .topology import Topology
+from .vc import UNROUTED, InputVC
+
+#: Event kinds understood by the simulator's dispatch loop.
+EVENT_ARRIVAL = 0
+EVENT_CREDIT = 1
+EVENT_PHASE = 2
+
+ScheduleFn = Callable[[int, tuple], None]
+
+
+class Router:
+    """One virtual-channel router plus its attached output channels."""
+
+    __slots__ = (
+        "node",
+        "local_port",
+        "vcs_per_port",
+        "routing",
+        "in_vcs",
+        "occupancy",
+        "channels",
+        "credit_states",
+        "credit_targets",
+        "connected_out",
+        "sa_arbiters",
+        "inj_queue",
+        "inj_flits",
+        "inj_pos",
+        "inj_vc",
+        "total_buffered",
+        "packet_sink",
+        "age_hooks",
+        "schedule",
+        "credit_delay",
+        "flits_ejected",
+        "packets_ejected",
+        "flits_launched",
+        "_vc_scan",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        topology: Topology,
+        routing: RoutingFunction,
+        *,
+        vcs_per_port: int,
+        buffers_per_vc: int,
+        credit_delay: int,
+        schedule: ScheduleFn,
+        packet_sink: Callable[[Packet, int], None],
+    ):
+        self.node = node
+        self.local_port = topology.local_port
+        self.vcs_per_port = vcs_per_port
+        self.routing = routing
+        self.schedule = schedule
+        self.packet_sink = packet_sink
+        self.credit_delay = credit_delay
+
+        num_in_ports = topology.ports_per_router + 1  # network ports + local
+        self.in_vcs = [
+            [InputVC(buffers_per_vc) for _ in range(vcs_per_port)]
+            for _ in range(num_in_ports)
+        ]
+        # Occupancy trackers only where an upstream DVS controller (or a
+        # profiling probe) watches the port, i.e. network input ports.
+        self.occupancy: list[OccupancyTracker | None] = [
+            OccupancyTracker() if p < topology.ports_per_router else None
+            for p in range(num_in_ports)
+        ]
+        # Upstream (router, out_port) feeding each network input port.
+        self.credit_targets: list[tuple[int, int] | None] = []
+        for p in range(num_in_ports):
+            if p < topology.ports_per_router:
+                upstream = topology.neighbor(node, p)
+                if upstream is None:
+                    self.credit_targets.append(None)
+                else:
+                    self.credit_targets.append((upstream, topology.opposite_port(p)))
+            else:
+                self.credit_targets.append(None)
+
+        # Output side: filled in by the simulator via attach_channel().
+        self.channels: list[NetworkChannel | None] = [None] * topology.ports_per_router
+        self.credit_states: list[CreditState | None] = [None] * topology.ports_per_router
+        self.connected_out: tuple[int, ...] = ()
+        self.sa_arbiters: dict[int, RoundRobinArbiter] = {}
+
+        self.inj_queue: deque[Packet] = deque()
+        self.inj_flits: list[Flit] = []
+        self.inj_pos = 0
+        self.inj_vc = 0
+        self.total_buffered = 0
+        self.age_hooks: dict[int, list[Callable[[int], None]]] = {}
+        self.flits_ejected = 0
+        self.packets_ejected = 0
+        self.flits_launched = 0
+
+        self._vc_scan = [
+            (p, v, self.in_vcs[p][v])
+            for p in range(num_in_ports)
+            for v in range(vcs_per_port)
+        ]
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_channel(
+        self, out_port: int, channel: NetworkChannel, buffers_per_vc: int
+    ) -> None:
+        """Connect *channel* at *out_port* (called during network build)."""
+        if self.channels[out_port] is not None:
+            raise SimulationError(f"output port {out_port} already attached")
+        self.channels[out_port] = channel
+        self.credit_states[out_port] = CreditState(self.vcs_per_port, buffers_per_vc)
+        self.sa_arbiters[out_port] = RoundRobinArbiter(
+            len(self.in_vcs) * self.vcs_per_port
+        )
+        self.connected_out = tuple(
+            p for p, ch in enumerate(self.channels) if ch is not None
+        )
+
+    @property
+    def is_idle(self) -> bool:
+        """True when :meth:`step` would be a no-op this cycle."""
+        return not (self.total_buffered or self.inj_flits or self.inj_queue)
+
+    # ------------------------------------------------------------------
+    # Event handlers (called by the simulator dispatch loop)
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, port: int, vc: int, flit: Flit, now: int) -> None:
+        """A flit arrived from the upstream channel into input *port*."""
+        self.in_vcs[port][vc].buffer.enqueue(flit, now)
+        tracker = self.occupancy[port]
+        if tracker is not None:
+            tracker.on_enqueue(now)
+        self.total_buffered += 1
+
+    def on_credit(self, out_port: int, vc: int, is_tail: bool) -> None:
+        """A credit returned from the downstream router.
+
+        Credits only replenish buffer slots; output-VC ownership is
+        released when the tail flit is *sent* (see :meth:`_launch`), per
+        classic VC flow control — packets may queue back-to-back in a
+        downstream VC buffer.
+        """
+        state = self.credit_states[out_port]
+        if state is None:
+            raise SimulationError(f"credit for unattached port {out_port}")
+        state.restore(vc)
+
+    def offer_packet(self, packet: Packet) -> None:
+        """Enqueue *packet* in this node's source queue."""
+        self.inj_queue.append(packet)
+
+    # ------------------------------------------------------------------
+    # Per-cycle pipeline
+    # ------------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        """One router cycle: eject, route/allocate, switch-allocate, inject."""
+        vcs_per_port = self.vcs_per_port
+        requests: dict[int, list[int]] | None = None
+
+        for p, v, vcstate in self._vc_scan:
+            buf = vcstate.buffer.flits
+            if not buf:
+                continue
+            out_port = vcstate.out_port
+            if out_port == UNROUTED:
+                head = buf[0]
+                if not head.is_head:
+                    raise SimulationError(
+                        f"body flit at head of unrouted VC at node {self.node}"
+                    )
+                packet = head.packet
+                if packet.dst == self.node:
+                    vcstate.out_port = self.local_port
+                    vcstate.out_vc = 0
+                    out_port = self.local_port
+                else:
+                    out_port = self._route_and_allocate(vcstate, packet)
+                    if out_port == UNROUTED:
+                        continue  # retry next cycle
+            if out_port == self.local_port:
+                self._eject(p, v, vcstate, now)
+                continue
+            # Switch-allocation request: needs a credit and a willing wire.
+            credit_state = self.credit_states[out_port]
+            if credit_state.credits[vcstate.out_vc] <= 0:
+                continue
+            dvs = self.channels[out_port].dvs
+            if dvs.locked or dvs.busy_until >= now + 1:
+                continue
+            if requests is None:
+                requests = {}
+            rid = p * vcs_per_port + v
+            bucket = requests.get(out_port)
+            if bucket is None:
+                requests[out_port] = [rid]
+            else:
+                bucket.append(rid)
+
+        if requests:
+            granted_inputs = 0
+            for out_port, rids in requests.items():
+                winner = self._arbitrate(out_port, rids, granted_inputs, vcs_per_port)
+                if winner < 0:
+                    continue
+                granted_inputs |= 1 << (winner // vcs_per_port)
+                self._launch(out_port, winner // vcs_per_port, winner % vcs_per_port, now)
+
+        if self.inj_flits or self.inj_queue:
+            self._inject(now)
+
+    # ------------------------------------------------------------------
+    # Stage helpers
+    # ------------------------------------------------------------------
+
+    def _route_and_allocate(self, vcstate: InputVC, packet: Packet) -> int:
+        """Route computation + VC allocation for the packet at *vcstate*'s head.
+
+        Route computation runs once per packet per hop and its result is
+        cached on the VC; VC allocation retries each cycle against the
+        cached options. Returns the chosen output port, or UNROUTED if
+        every candidate port's permitted downstream VCs are currently held.
+        """
+        options = vcstate.route_options
+        if options is None:
+            routing = self.routing
+            node = self.node
+            options = []
+            for out_port in routing.candidates(node, packet.dst):
+                if self.credit_states[out_port] is None:
+                    raise SimulationError(
+                        f"route to unattached port {out_port} at node {node}"
+                    )
+                vc_class = packet.vc_class if packet.last_dim == out_port >> 1 else 0
+                options.append(
+                    (out_port, routing.allowed_vcs(node, out_port, packet.dst, vc_class))
+                )
+            vcstate.route_options = options
+        for out_port, allowed in options:
+            credit_state = self.credit_states[out_port]
+            free = credit_state.vc_free
+            for downstream_vc in allowed:
+                if free[downstream_vc]:
+                    credit_state.allocate_vc(downstream_vc)
+                    vcstate.out_port = out_port
+                    vcstate.out_vc = downstream_vc
+                    return out_port
+        return UNROUTED
+
+    def _arbitrate(
+        self, out_port: int, rids: list[int], granted_inputs: int, vcs_per_port: int
+    ) -> int:
+        """Rotating-priority grant among *rids*, skipping granted inputs."""
+        arbiter = self.sa_arbiters[out_port]
+        head = arbiter.priority_head
+        size = arbiter.size
+        best = -1
+        best_key = size
+        for rid in rids:
+            if granted_inputs and (granted_inputs >> (rid // vcs_per_port)) & 1:
+                continue
+            key = (rid - head) % size
+            if key < best_key:
+                best_key = key
+                best = rid
+        if best >= 0:
+            arbiter.advance_past(best)
+        return best
+
+    def _launch(self, out_port: int, p: int, v: int, now: int) -> None:
+        """Winner of switch allocation: move the flit onto the channel."""
+        vcstate = self.in_vcs[p][v]
+        flit = vcstate.buffer.dequeue()
+        self.total_buffered -= 1
+        tracker = self.occupancy[p]
+        if tracker is not None:
+            tracker.on_dequeue(now)
+        if self.age_hooks:
+            hooks = self.age_hooks.get(p)
+            if hooks:
+                age = now - flit.buffer_arrival_cycle
+                for hook in hooks:
+                    hook(age)
+        target = self.credit_targets[p]
+        if target is not None:
+            self.schedule(
+                now + self.credit_delay,
+                (EVENT_CREDIT, target[0], target[1], v, flit.is_tail),
+            )
+        credit_state = self.credit_states[out_port]
+        credit_state.consume(vcstate.out_vc)
+        channel = self.channels[out_port]
+        arrival = channel.send(now)
+        spec = channel.spec
+        self.schedule(
+            arrival, (EVENT_ARRIVAL, spec.dst_node, spec.dst_port, vcstate.out_vc, flit)
+        )
+        self.flits_launched += 1
+        if flit.is_head:
+            packet = flit.packet
+            dim = out_port >> 1
+            vc_class = packet.vc_class if packet.last_dim == dim else 0
+            packet.vc_class = self.routing.next_vc_class(self.node, out_port, vc_class)
+            packet.last_dim = dim
+        if flit.is_tail:
+            credit_state.release_vc(vcstate.out_vc)
+            vcstate.reset_route()
+
+    def _eject(self, p: int, v: int, vcstate: InputVC, now: int) -> None:
+        """Immediate ejection: one flit per VC per cycle at the destination."""
+        flit = vcstate.buffer.dequeue()
+        self.total_buffered -= 1
+        tracker = self.occupancy[p]
+        if tracker is not None:
+            tracker.on_dequeue(now)
+        if self.age_hooks:
+            hooks = self.age_hooks.get(p)
+            if hooks:
+                age = now - flit.buffer_arrival_cycle
+                for hook in hooks:
+                    hook(age)
+        target = self.credit_targets[p]
+        if target is not None:
+            self.schedule(
+                now + self.credit_delay,
+                (EVENT_CREDIT, target[0], target[1], v, flit.is_tail),
+            )
+        self.flits_ejected += 1
+        if flit.is_tail:
+            vcstate.reset_route()
+            packet = flit.packet
+            packet.ejected_cycle = now
+            self.packets_ejected += 1
+            self.packet_sink(packet, now)
+
+    def _inject(self, now: int) -> None:
+        """Move up to one flit from the source queue into the local port."""
+        if not self.inj_flits:
+            packet = self.inj_queue[0]
+            best = -1
+            best_free = 0
+            for v, vcstate in enumerate(self.in_vcs[self.local_port]):
+                free = vcstate.buffer.free_slots
+                if free > best_free:
+                    best = v
+                    best_free = free
+            if best < 0:
+                return
+            self.inj_queue.popleft()
+            self.inj_flits = packet.make_flits()
+            self.inj_pos = 0
+            self.inj_vc = best
+        vcstate = self.in_vcs[self.local_port][self.inj_vc]
+        if not vcstate.buffer.is_full:
+            vcstate.buffer.enqueue(self.inj_flits[self.inj_pos], now)
+            self.total_buffered += 1
+            self.inj_pos += 1
+            if self.inj_pos >= len(self.inj_flits):
+                self.inj_flits = []
+                self.inj_pos = 0

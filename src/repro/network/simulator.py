@@ -1,0 +1,404 @@
+"""The cycle-driven network simulator.
+
+Assembles topology, routers, DVS channels, per-port DVS controllers,
+traffic and measurement into one simulation object (the Python counterpart
+of the paper's C++ simulator, Section 4.1).
+
+Time base: the router clock (1 cycle = 1 ns at the paper's 1 GHz). Each
+cycle the simulator
+
+1. dispatches scheduled events — flit arrivals into input buffers, credit
+   returns, DVS channel phase boundaries;
+2. polls the traffic source and enqueues new packets in source queues;
+3. closes DVS history windows when due (every H cycles) and runs the
+   per-port controllers; schedules any transition phase boundaries they
+   start;
+4. closes profiling-probe windows and time-series windows when due;
+5. steps every non-idle router (ejection, routing/VC allocation, switch
+   allocation, injection).
+
+Events live in a bucket map keyed by cycle, which outperforms a heap when
+almost every future cycle holds events. Inter-router flit traversal is
+"emulated with message passing" exactly as in the paper: a launched flit
+becomes an arrival event ``pipeline latency + serialization`` cycles
+later, so slow links lengthen hops and throttle bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DVSControlConfig, SimulationConfig
+from ..core.controller import PortDVSController
+from ..core.dvs_link import DVSChannel
+from ..core.policy import (
+    AdaptiveThresholdPolicy,
+    DVSPolicy,
+    HistoryDVSPolicy,
+    LinkUtilizationOnlyPolicy,
+    StaticLevelPolicy,
+)
+from ..errors import ConfigError, SimulationError
+from ..metrics.latency import LatencyCollector, LatencyStats
+from ..metrics.timeseries import WindowedSeries
+from ..metrics.utilization import UtilizationProbe
+from ..power.accounting import PowerAccountant, PowerReport
+from .channel import NetworkChannel
+from .packet import Packet
+from .router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE, Router
+from .routing import make_routing
+from .topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Everything a harness needs from one simulation run.
+
+    Rates are network-wide packets per router cycle, measured over the
+    measurement phase only.
+    """
+
+    config: SimulationConfig
+    measure_cycles: int
+    offered_packets: int
+    ejected_packets: int
+    offered_rate: float
+    accepted_rate: float
+    latency: LatencyStats
+    power: PowerReport
+    mean_level: float
+    requests_dropped: int
+    series: dict[str, WindowedSeries] = field(default_factory=dict)
+
+
+def _build_policy(dvs: DVSControlConfig) -> DVSPolicy:
+    if dvs.policy == "history":
+        return HistoryDVSPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    if dvs.policy == "static":
+        return StaticLevelPolicy(dvs.static_level)
+    if dvs.policy == "lu_only":
+        return LinkUtilizationOnlyPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    if dvs.policy == "adaptive_threshold":
+        return AdaptiveThresholdPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    raise ConfigError(f"no policy object for {dvs.policy!r}")
+
+
+class Simulator:
+    """One fully wired network simulation."""
+
+    def __init__(self, config: SimulationConfig, *, traffic=None, series_window=0):
+        self.config = config
+        net = config.network
+        link = config.link
+        if series_window < 0:
+            raise ConfigError("series window cannot be negative")
+        self.series_window = series_window
+
+        self.topology = Topology(net.radix, net.dimensions, wraparound=net.wraparound)
+        self.routing = make_routing(net.routing, self.topology, net.vcs_per_port)
+
+        table = link.build_table()
+        power_model = link.build_power_model()
+        regulator = link.build_regulator()
+        timing = link.build_timing()
+
+        self._events: dict[int, list[tuple]] = {}
+        self.now = 0
+
+        self.routers = [
+            Router(
+                node,
+                self.topology,
+                self.routing,
+                vcs_per_port=net.vcs_per_port,
+                buffers_per_vc=net.buffers_per_vc,
+                credit_delay=net.credit_delay,
+                schedule=self.schedule,
+                packet_sink=self._on_packet_ejected,
+            )
+            for node in range(self.topology.node_count)
+        ]
+
+        if config.dvs.enabled and config.dvs.initial_level is not None:
+            initial_level = config.dvs.initial_level
+        else:
+            initial_level = table.max_level
+
+        self.channels: list[NetworkChannel] = []
+        for spec in self.topology.channels:
+            dvs_channel = DVSChannel(
+                table,
+                power_model,
+                regulator,
+                lanes=link.lanes,
+                router_clock_hz=net.router_clock_hz,
+                timing=timing,
+                initial_level=initial_level,
+            )
+            channel = NetworkChannel(spec, dvs_channel, net.pipeline_latency)
+            self.routers[spec.src_node].attach_channel(
+                spec.src_port, channel, net.buffers_per_vc
+            )
+            self.channels.append(channel)
+
+        self.controllers: list[PortDVSController] = []
+        if config.dvs.enabled:
+            for channel in self.channels:
+                spec = channel.spec
+                tracker = self.routers[spec.dst_node].occupancy[spec.dst_port]
+                if tracker is None:
+                    raise SimulationError("network input port lacks a tracker")
+                self.controllers.append(
+                    PortDVSController(
+                        channel.dvs,
+                        _build_policy(config.dvs),
+                        tracker,
+                        window_cycles=config.dvs.history_window,
+                        buffer_capacity=net.buffers_per_port,
+                    )
+                )
+
+        if traffic is None:
+            from ..traffic.base import make_traffic
+
+            traffic = make_traffic(self.topology, config.workload)
+        self.traffic = traffic
+
+        self.accountant = PowerAccountant(
+            [channel.dvs for channel in self.channels], net.router_clock_hz
+        )
+        self.latency = LatencyCollector()
+        self.probes: list[UtilizationProbe] = []
+
+        self._measuring = False
+        self._measure_start = 0
+        self.total_ejected_packets = 0
+        self.offered_measured = 0
+        self.ejected_measured = 0
+
+        self.series: dict[str, WindowedSeries] = {}
+        self._series_offered = 0
+        self._series_ejected = 0
+        self._series_last_energy = 0.0
+        if series_window:
+            self.series = {
+                name: WindowedSeries(series_window)
+                for name in ("offered_rate", "accepted_rate", "power_w", "mean_level")
+            }
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+
+    def attach_probe(
+        self, src_node: int, src_port: int, *, window_cycles: int = 50
+    ) -> UtilizationProbe:
+        """Attach a Figure-3/4/5 profiling probe to one channel.
+
+        The probe watches the channel leaving ``src_node`` through
+        ``src_port`` and the downstream input port it feeds, including a
+        buffer-age tap.
+        """
+        channel = self.routers[src_node].channels[src_port]
+        if channel is None:
+            raise ConfigError(f"node {src_node} has no channel on port {src_port}")
+        spec = channel.spec
+        downstream = self.routers[spec.dst_node]
+        tracker = downstream.occupancy[spec.dst_port]
+        probe = UtilizationProbe(
+            channel.dvs,
+            tracker,
+            window_cycles=window_cycles,
+            buffer_capacity=self.config.network.buffers_per_port,
+        )
+        downstream.age_hooks.setdefault(spec.dst_port, []).append(probe.on_age)
+        self.probes.append(probe)
+        return probe
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def schedule(self, cycle: int, event: tuple) -> None:
+        """Queue *event* for dispatch at *cycle* (must be in the future)."""
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [event]
+        else:
+            bucket.append(event)
+
+    def _on_packet_ejected(self, packet: Packet, now: int) -> None:
+        self.total_ejected_packets += 1
+        if self._measuring:
+            self.ejected_measured += 1
+            self._series_ejected += 1
+            if packet.created_cycle >= self._measure_start:
+                self.latency.record(packet.latency)
+
+    # ------------------------------------------------------------------
+    # The cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one router cycle."""
+        now = self.now
+        routers = self.routers
+
+        events = self._events.pop(now, None)
+        if events:
+            for event in events:
+                kind = event[0]
+                if kind == EVENT_ARRIVAL:
+                    routers[event[1]].on_arrival(event[2], event[3], event[4], now)
+                elif kind == EVENT_CREDIT:
+                    routers[event[1]].on_credit(event[2], event[3], event[4])
+                else:  # EVENT_PHASE
+                    channel = event[1]
+                    next_cycle = channel.on_phase_end(now)
+                    if next_cycle is not None:
+                        self.schedule(next_cycle, (EVENT_PHASE, channel))
+
+        pairs = self.traffic.injections(now)
+        if pairs:
+            flits_per_packet = self.config.network.flits_per_packet
+            for src, dst in pairs:
+                routers[src].offer_packet(Packet(src, dst, flits_per_packet, now))
+            if self._measuring:
+                self.offered_measured += len(pairs)
+                self._series_offered += len(pairs)
+
+        if now:
+            if self.controllers and now % self.config.dvs.history_window == 0:
+                for controller in self.controllers:
+                    channel = controller.channel
+                    pending_before = channel.pending_event_cycle
+                    controller.close_window(now)
+                    pending_after = channel.pending_event_cycle
+                    if pending_after is not None and pending_after != pending_before:
+                        self.schedule(pending_after, (EVENT_PHASE, channel))
+            if self.probes:
+                for probe in self.probes:
+                    if now % probe.window_cycles == 0:
+                        probe.close_window(now)
+            if self.series and now % self.series_window == 0:
+                self._close_series_window(now)
+
+        for router in routers:
+            if router.total_buffered or router.inj_flits or router.inj_queue:
+                router.step(now)
+
+        self.now = now + 1
+
+    def run_cycles(self, cycles: int) -> None:
+        """Run *cycles* more cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def begin_measurement(self) -> None:
+        """End warmup: reset collectors and start the measured phase."""
+        self._measuring = True
+        self._measure_start = self.now
+        self.latency.reset()
+        self.offered_measured = 0
+        self.ejected_measured = 0
+        self.accountant.begin(self.now)
+        self._series_offered = 0
+        self._series_ejected = 0
+        self._series_last_energy = self._total_energy(self.now)
+        for probe in self.probes:
+            probe.reset()
+
+    def run(self) -> SimulationResult:
+        """Warmup, measure, and summarize per the configuration."""
+        self.run_cycles(self.config.warmup_cycles)
+        self.begin_measurement()
+        self.run_cycles(self.config.measure_cycles)
+        return self.finish()
+
+    def finish(self) -> SimulationResult:
+        """Summarize the measurement phase ending now."""
+        now = self.now
+        if not self._measuring:
+            raise SimulationError("finish() before begin_measurement()")
+        measure_cycles = now - self._measure_start
+        if measure_cycles <= 0:
+            raise SimulationError("measurement phase is empty")
+        power = self.accountant.report(now)
+        return SimulationResult(
+            config=self.config,
+            measure_cycles=measure_cycles,
+            offered_packets=self.offered_measured,
+            ejected_packets=self.ejected_measured,
+            offered_rate=self.offered_measured / measure_cycles,
+            accepted_rate=self.ejected_measured / measure_cycles,
+            latency=self.latency.stats(),
+            power=power,
+            mean_level=self.accountant.mean_level(),
+            requests_dropped=sum(c.requests_dropped for c in self.controllers),
+            series=dict(self.series),
+        )
+
+    # ------------------------------------------------------------------
+    # Series and diagnostics
+    # ------------------------------------------------------------------
+
+    def _total_energy(self, now: int) -> float:
+        total = 0.0
+        for channel in self.channels:
+            channel.dvs.finalize(now)
+            total += channel.dvs.total_energy_j
+        return total
+
+    def _close_series_window(self, now: int) -> None:
+        window = self.series_window
+        self.series["offered_rate"].append(self._series_offered / window)
+        self.series["accepted_rate"].append(self._series_ejected / window)
+        energy = self._total_energy(now)
+        window_s = window / self.config.network.router_clock_hz
+        self.series["power_w"].append(
+            (energy - self._series_last_energy) / window_s
+        )
+        self.series["mean_level"].append(self.accountant.mean_level())
+        self._series_last_energy = energy
+        self._series_offered = 0
+        self._series_ejected = 0
+
+    def flits_in_network(self) -> int:
+        """Flits buffered in routers plus flits in flight on the wires."""
+        buffered = sum(router.total_buffered for router in self.routers)
+        in_flight = sum(
+            1
+            for bucket in self._events.values()
+            for event in bucket
+            if event[0] == EVENT_ARRIVAL
+        )
+        return buffered + in_flight
+
+    def pending_source_packets(self) -> int:
+        """Packets waiting in source queues (plus partially injected ones)."""
+        queued = sum(len(router.inj_queue) for router in self.routers)
+        partial = sum(1 for router in self.routers if router.inj_flits)
+        return queued + partial
+
+    def drain(self, max_cycles: int = 100_000) -> int:
+        """Run with traffic as-is until the network empties; returns cycles.
+
+        Intended for conservation tests: callers typically swap in an
+        exhausted traffic source first. Raises if the network fails to
+        drain within *max_cycles* (a deadlock or livelock).
+        """
+        for elapsed in range(max_cycles):
+            transport_events = any(
+                event[0] != EVENT_PHASE
+                for bucket in self._events.values()
+                for event in bucket
+            )
+            if (
+                not transport_events
+                and self.traffic.pending_injections() == 0
+                and self.flits_in_network() == 0
+                and self.pending_source_packets() == 0
+            ):
+                return elapsed
+            self.step()
+        raise SimulationError(f"network failed to drain within {max_cycles} cycles")

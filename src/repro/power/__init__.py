@@ -1,0 +1,31 @@
+"""Network power accounting and the router power profile.
+
+:mod:`repro.power.accounting` integrates per-channel energy over a
+measurement phase and reports savings factors versus the always-max
+baseline (the paper's normalized-power metric). The paper evaluates link
+power only — it shows router-core power barely changes with DVS
+(Section 4.2) — so the accountant covers channels; the router-core
+distribution of Figure 7 is reproduced analytically in
+:mod:`repro.power.router_power`.
+"""
+
+from .accounting import PowerAccountant, PowerReport
+from .orion import OrionParameters, RouterEnergyCounters, RouterEnergyModel
+from .report import (
+    format_power_report,
+    nominal_network_power_w,
+    savings_by_component,
+)
+from .router_power import RouterPowerProfile
+
+__all__ = [
+    "PowerAccountant",
+    "PowerReport",
+    "RouterPowerProfile",
+    "OrionParameters",
+    "RouterEnergyModel",
+    "RouterEnergyCounters",
+    "format_power_report",
+    "nominal_network_power_w",
+    "savings_by_component",
+]

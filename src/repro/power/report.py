@@ -1,0 +1,79 @@
+"""Formatted power reporting.
+
+Turns a :class:`~repro.power.accounting.PowerReport` (plus optional
+per-channel detail) into the text summaries the examples and harness
+print, including the paper's 409.6 W-style nominal network budget
+computation (Section 4.2: 64 routers x 4 ports x 8 links x 0.2 W).
+"""
+
+from __future__ import annotations
+
+from ..config import LinkConfig, NetworkConfig
+from ..errors import ConfigError
+from .accounting import PowerReport
+
+
+def nominal_network_power_w(
+    network: NetworkConfig | None = None, link: LinkConfig | None = None
+) -> float:
+    """The paper's nominal all-links-at-max network power.
+
+    The paper quotes 64 routers x 4 ports x 8 links x 0.2 W = 409.6 W for
+    its 8x8 mesh, counting four network ports per router regardless of
+    mesh edges. We reproduce that convention here; the accountant's
+    baseline uses the *actual* channel count (224 directed channels on an
+    8x8 mesh) since normalized results are what the paper plots.
+    """
+    network = network if network is not None else NetworkConfig()
+    link = link if link is not None else LinkConfig()
+    model = link.build_power_model()
+    table = link.build_table()
+    per_link = model.level_power_w(table, table.max_level)
+    ports_per_router = 2 * network.dimensions
+    return network.node_count * ports_per_router * link.lanes * per_link
+
+
+def format_power_report(report: PowerReport, *, label: str = "network") -> str:
+    """Multi-line human-readable rendering of a power report."""
+    if report.duration_s <= 0.0:
+        raise ConfigError("report covers no time")
+    lines = [
+        f"power report ({label}, {report.duration_s * 1e6:.1f} us measured)",
+        f"  mean link power     {report.mean_power_w:10.2f} W",
+        f"  always-max baseline {report.baseline_power_w:10.2f} W",
+        f"  normalized          {report.normalized:10.3f}",
+        f"  savings factor      {report.savings_factor:10.2f} X",
+        f"  voltage transitions {report.transition_count:10d}",
+        f"  transition energy   {report.transition_energy_j * 1e6:10.2f} uJ",
+    ]
+    overhead = (
+        report.transition_energy_j / (report.mean_power_w * report.duration_s)
+        if report.mean_power_w > 0.0
+        else 0.0
+    )
+    lines.append(f"  transition overhead {overhead:10.2%} of link energy")
+    return "\n".join(lines)
+
+
+def savings_by_component(
+    report: PowerReport, *, router_core_power_w: float = 0.0
+) -> dict[str, float]:
+    """Network-level summary including an (optional) fixed router core.
+
+    The paper ignores router-core power in its evaluation because it
+    barely changes with DVS (Section 4.2); passing a nonzero core power
+    shows how total savings dilute when the core is counted.
+    """
+    if router_core_power_w < 0.0:
+        raise ConfigError("core power cannot be negative")
+    total_with = report.mean_power_w + router_core_power_w
+    total_baseline = report.baseline_power_w + router_core_power_w
+    return {
+        "link_savings_factor": report.savings_factor,
+        "total_savings_factor": (
+            total_baseline / total_with if total_with > 0.0 else float("inf")
+        ),
+        "core_share_of_baseline": (
+            router_core_power_w / total_baseline if total_baseline else 0.0
+        ),
+    }

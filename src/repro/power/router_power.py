@@ -1,0 +1,92 @@
+"""Router power distribution — the analytical Figure 7 model.
+
+The paper synthesized its Verilog router to TSMC 0.25 um and measured the
+power split with Synopsys Power Compiler; the published anchors are:
+
+* link circuitry consumes **82.4%** of total router+channel power;
+* the allocators consume **81 mW**;
+* one channel of eight links peaks at 8 x 200 mW = 1.6 W.
+
+We cannot rerun the synthesis flow, so this module reconstructs the full
+distribution from those anchors: with four network ports the links total
+6.4 W, fixing total power at 6.4/0.824 = 7.77 W; the published allocator
+power is subtracted and the remaining core power is split across buffers,
+crossbar and clock in the proportions typical of buffer-heavy VC routers
+(the paper's router carries a large 128-flit buffer pool per port, so
+buffers dominate the core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+#: Core-remainder split (after allocators): buffers dominate in a router
+#: with 128 flit buffers per port; crossbar and clock follow.
+_CORE_SPLIT = {"buffers": 0.62, "crossbar": 0.23, "clock": 0.15}
+
+
+@dataclass(frozen=True, slots=True)
+class RouterPowerProfile:
+    """Analytical router power breakdown pinned to the paper's anchors."""
+
+    ports: int = 4
+    lanes_per_port: int = 8
+    link_power_w: float = 0.2
+    link_fraction: float = 0.824
+    allocator_power_w: float = 0.081
+    core_split: dict = field(default_factory=lambda: dict(_CORE_SPLIT))
+
+    def __post_init__(self) -> None:
+        if self.ports < 1 or self.lanes_per_port < 1:
+            raise ConfigError("ports and lanes must be positive")
+        if not 0.0 < self.link_fraction < 1.0:
+            raise ConfigError("link fraction must be in (0, 1)")
+        if self.link_power_w <= 0.0 or self.allocator_power_w < 0.0:
+            raise ConfigError("powers must be non-negative (links positive)")
+        if abs(sum(self.core_split.values()) - 1.0) > 1e-9:
+            raise ConfigError("core split fractions must sum to 1")
+
+    @property
+    def links_power_w(self) -> float:
+        """Max power of all the router's link circuitry."""
+        return self.ports * self.lanes_per_port * self.link_power_w
+
+    @property
+    def total_power_w(self) -> float:
+        """Total router+channel power implied by the link fraction."""
+        return self.links_power_w / self.link_fraction
+
+    @property
+    def core_power_w(self) -> float:
+        """Router-core (non-link) power."""
+        return self.total_power_w - self.links_power_w
+
+    def breakdown_w(self) -> dict[str, float]:
+        """Component -> watts, matching Figure 7's categories."""
+        remainder = self.core_power_w - self.allocator_power_w
+        if remainder < 0.0:
+            raise ConfigError(
+                "allocator power exceeds the core budget; anchors inconsistent"
+            )
+        parts = {"links": self.links_power_w, "allocators": self.allocator_power_w}
+        for name, fraction in self.core_split.items():
+            parts[name] = remainder * fraction
+        return parts
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Component -> fraction of total power."""
+        total = self.total_power_w
+        return {name: power / total for name, power in self.breakdown_w().items()}
+
+    def describe(self) -> str:
+        """Figure-7-style text table."""
+        lines = ["Router power distribution (max channel power)"]
+        for name, power in sorted(
+            self.breakdown_w().items(), key=lambda item: -item[1]
+        ):
+            fraction = power / self.total_power_w
+            lines.append(f"  {name:<11} {power * 1e3:>8.1f} mW  {fraction:6.1%}")
+        lines.append(f"  {'TOTAL':<11} {self.total_power_w * 1e3:>8.1f} mW")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Workload models (paper Section 4.3).
+
+The centerpiece is the two-level task workload
+(:class:`~repro.traffic.tasks.TwoLevelWorkload`): Poisson-arriving
+communication task sessions placed with a sphere of locality, each
+generating self-similar packet traffic by multiplexing Pareto ON/OFF
+sources. Classic reference workloads (uniform random, permutations) and
+validation tooling (Hurst-exponent estimators, trace record/replay) live
+alongside.
+"""
+
+from .base import TrafficSource, make_traffic
+from .pareto import pareto_mean, pareto_sample
+from .onoff import OnOffSourceSet
+from .locality import SphereOfLocality
+from .tasks import TwoLevelWorkload
+from .uniform import UniformRandomTraffic
+from .permutation import PERMUTATIONS, PermutationTraffic
+from .hotspot import HotspotTraffic
+from .selfsim import hurst_rs, hurst_variance_time
+from .trace import RecordingSource, TraceReplaySource
+
+__all__ = [
+    "TrafficSource",
+    "make_traffic",
+    "pareto_sample",
+    "pareto_mean",
+    "OnOffSourceSet",
+    "SphereOfLocality",
+    "TwoLevelWorkload",
+    "UniformRandomTraffic",
+    "PermutationTraffic",
+    "HotspotTraffic",
+    "PERMUTATIONS",
+    "hurst_rs",
+    "hurst_variance_time",
+    "RecordingSource",
+    "TraceReplaySource",
+]

@@ -1,0 +1,66 @@
+"""Traffic source interface and factory.
+
+A :class:`TrafficSource` is polled once per router cycle by the simulator:
+:meth:`~TrafficSource.injections` returns the ``(src, dst)`` pairs of
+packets created that cycle (usually an empty list). Implementations keep
+their pending arrivals in a heap, so the common no-arrival case costs one
+comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..config import WorkloadConfig
+from ..errors import WorkloadError
+from ..network.topology import Topology
+
+
+class TrafficSource(ABC):
+    """Generates packet creations for the whole network."""
+
+    def __init__(self, topology: Topology, config: WorkloadConfig):
+        self.topology = topology
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.packets_offered = 0
+
+    @abstractmethod
+    def injections(self, now: int) -> list[tuple[int, int]]:
+        """``(src, dst)`` pairs of packets created at router cycle *now*.
+
+        Called with strictly increasing *now*; implementations may assume
+        monotonicity.
+        """
+
+    def pending_injections(self) -> int:
+        """Known future injections, for drain detection.
+
+        Open-ended generators return 0 (the default) — they cannot know;
+        finite sources (trace replay) report their remaining entries so
+        :meth:`repro.network.simulator.Simulator.drain` waits for them.
+        """
+        return 0
+
+    def _count(self, pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Bookkeeping helper for subclasses: tally and pass through."""
+        self.packets_offered += len(pairs)
+        return pairs
+
+
+def make_traffic(topology: Topology, config: WorkloadConfig) -> TrafficSource:
+    """Build the traffic source described by *config*."""
+    # Imports are local to avoid a cycle: concrete sources import this
+    # module for the base class.
+    from .permutation import PermutationTraffic
+    from .tasks import TwoLevelWorkload
+    from .uniform import UniformRandomTraffic
+
+    if config.kind == "two_level":
+        return TwoLevelWorkload(topology, config)
+    if config.kind == "uniform":
+        return UniformRandomTraffic(topology, config)
+    if config.kind == "permutation":
+        return PermutationTraffic(topology, config)
+    raise WorkloadError(f"unknown workload kind {config.kind!r}")

@@ -1,0 +1,80 @@
+"""Pareto distribution sampling (paper Eq. (7)).
+
+The Pareto distribution with shape ``beta`` and location ``a`` has CDF
+``F(x) = 1 - (a/x)^beta`` for ``x >= a``. Inverse-transform sampling gives
+``X = a / U^(1/beta)`` for uniform ``U`` in (0, 1]. For ``1 < beta < 2``
+the mean ``a*beta/(beta-1)`` is finite but the variance is infinite — the
+heavy tail that makes multiplexed ON/OFF sources self-similar [Leland et
+al.; Willinger et al.].
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import WorkloadError
+
+
+def pareto_sample(rng: random.Random, shape: float, location: float) -> float:
+    """Draw one Pareto(shape, location) variate, >= location."""
+    if shape <= 0.0 or location <= 0.0:
+        raise WorkloadError("Pareto shape and location must be positive")
+    # random() is in [0, 1); flip to (0, 1] so the tail stays finite.
+    u = 1.0 - rng.random()
+    return location / u ** (1.0 / shape)
+
+
+def pareto_mean(shape: float, location: float) -> float:
+    """Mean of Pareto(shape, location); requires shape > 1."""
+    if shape <= 1.0:
+        raise WorkloadError(f"Pareto mean is infinite for shape {shape} <= 1")
+    if location <= 0.0:
+        raise WorkloadError("Pareto location must be positive")
+    return location * shape / (shape - 1.0)
+
+
+def pareto_location_for_mean(shape: float, mean: float) -> float:
+    """Location parameter making Pareto(shape, .) have the given *mean*."""
+    if shape <= 1.0:
+        raise WorkloadError(f"no finite mean for shape {shape} <= 1")
+    if mean <= 0.0:
+        raise WorkloadError("mean must be positive")
+    return mean * (shape - 1.0) / shape
+
+
+def pareto_truncated_mean(shape: float, location: float, cap: float) -> float:
+    """``E[min(X, cap)]`` for X ~ Pareto(shape, location).
+
+    For heavy-tailed shapes (1 < shape < 2) the untruncated mean is
+    dominated by rare huge samples; any finite observation window (a task
+    session's lifetime) effectively truncates the distribution, and
+    calibrating against the untruncated mean then substantially
+    over-delivers. Closed form:
+    ``E[min(X, T)] = (shape*a - a^shape * T^(1-shape)) / (shape - 1)``.
+    """
+    if shape <= 1.0:
+        raise WorkloadError(f"truncated mean needs shape > 1, got {shape}")
+    if location <= 0.0 or cap <= 0.0:
+        raise WorkloadError("location and cap must be positive")
+    if cap <= location:
+        return cap
+    return (shape * location - location**shape * cap ** (1.0 - shape)) / (shape - 1.0)
+
+
+def pareto_location_for_truncated_mean(shape: float, mean: float, cap: float) -> float:
+    """Location making ``E[min(X, cap)]`` equal *mean* (bisection).
+
+    Requires ``0 < mean < cap``; the truncated mean is strictly increasing
+    in the location parameter, from 0 toward ``cap``.
+    """
+    if not 0.0 < mean < cap:
+        raise WorkloadError(f"truncated mean {mean} must lie in (0, cap={cap})")
+    low = 1e-12
+    high = mean  # E[min(X, cap)] >= location, so location <= mean suffices.
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if pareto_truncated_mean(shape, mid, cap) < mean:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)

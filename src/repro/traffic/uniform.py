@@ -1,0 +1,42 @@
+"""Uniform random traffic.
+
+The classic reference workload the paper contrasts with (Section 4.3):
+"random uniformly distributed traffic does not exhibit any spatial or
+temporal variance, other than that brought about by the topology". Packet
+creations form a network-wide Poisson process at the configured aggregate
+rate; each packet picks an independent uniform source and a uniform
+destination distinct from it. Useful as a smooth baseline for tests and
+ablations.
+"""
+
+from __future__ import annotations
+
+from ..config import WorkloadConfig
+from ..network.topology import Topology
+from .base import TrafficSource
+
+
+class UniformRandomTraffic(TrafficSource):
+    """Poisson arrivals, uniform random (src, dst) pairs."""
+
+    def __init__(self, topology: Topology, config: WorkloadConfig):
+        super().__init__(topology, config)
+        self._next_time = 0.0
+        if config.injection_rate > 0.0:
+            self._next_time = self.rng.expovariate(config.injection_rate)
+
+    def injections(self, now: int) -> list[tuple[int, int]]:
+        rate = self.config.injection_rate
+        if rate <= 0.0 or self._next_time > now:
+            return []
+        pairs: list[tuple[int, int]] = []
+        node_count = self.topology.node_count
+        rng = self.rng
+        while self._next_time <= now:
+            src = rng.randrange(node_count)
+            dst = rng.randrange(node_count - 1)
+            if dst >= src:
+                dst += 1
+            pairs.append((src, dst))
+            self._next_time += rng.expovariate(rate)
+        return self._count(pairs)

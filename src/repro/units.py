@@ -1,0 +1,86 @@
+"""Unit conversion helpers.
+
+The simulator's native time base is *router clock cycles*. The paper's
+router runs at 1 GHz, so one cycle is one nanosecond, but nothing in the
+codebase hardwires that: conversions always go through an explicit router
+frequency.
+
+Frequencies are stored in hertz, voltages in volts, power in watts and
+energy in joules throughout the package; these helpers exist so call sites
+can speak the paper's units (MHz, us, mW) without sprinkling powers of ten.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+
+#: Hertz in one megahertz.
+MHZ = 1.0e6
+#: Hertz in one gigahertz.
+GHZ = 1.0e9
+#: Seconds in one nanosecond.
+NS = 1.0e-9
+#: Seconds in one microsecond.
+US = 1.0e-6
+#: Seconds in one millisecond.
+MS = 1.0e-3
+#: Watts in one milliwatt.
+MW = 1.0e-3
+#: Joules in one microjoule.
+UJ = 1.0e-6
+
+
+def mhz(value: float) -> float:
+    """Return *value* megahertz expressed in hertz."""
+    return value * MHZ
+
+
+def ghz(value: float) -> float:
+    """Return *value* gigahertz expressed in hertz."""
+    return value * GHZ
+
+
+def microseconds(value: float) -> float:
+    """Return *value* microseconds expressed in seconds."""
+    return value * US
+
+
+def milliseconds(value: float) -> float:
+    """Return *value* milliseconds expressed in seconds."""
+    return value * MS
+
+
+def milliwatts(value: float) -> float:
+    """Return *value* milliwatts expressed in watts."""
+    return value * MW
+
+
+def seconds_to_cycles(duration_s: float, clock_hz: float) -> int:
+    """Convert a duration in seconds to whole clock cycles (rounded).
+
+    Raises :class:`ConfigError` for a non-positive clock, which would
+    otherwise silently produce nonsense cycle counts.
+    """
+    if clock_hz <= 0.0:
+        raise ConfigError(f"clock frequency must be positive, got {clock_hz!r}")
+    if duration_s < 0.0:
+        raise ConfigError(f"duration must be non-negative, got {duration_s!r}")
+    return int(round(duration_s * clock_hz))
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count at *clock_hz* to seconds."""
+    if clock_hz <= 0.0:
+        raise ConfigError(f"clock frequency must be positive, got {clock_hz!r}")
+    return cycles / clock_hz
+
+
+def bandwidth_bits_per_s(link_hz: float, lanes: int, mux_ratio: int) -> float:
+    """Raw channel bandwidth for *lanes* serial links at *link_hz*.
+
+    Each serial link carries ``mux_ratio`` bits per link clock (the paper's
+    links use 4:1 multiplexing, i.e. 4 Gb/s at 1 GHz).
+    """
+    if lanes <= 0 or mux_ratio <= 0:
+        raise ConfigError("lanes and mux_ratio must be positive")
+    return link_hz * lanes * mux_ratio

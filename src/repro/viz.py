@@ -1,0 +1,105 @@
+"""Terminal visualization of network state.
+
+Pure-text renderings (no plotting dependencies) used by examples and
+debugging sessions: per-channel DVS-level heatmaps over the mesh, latency
+sparklines, and level-residency bars. Everything returns a string; nothing
+prints.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigError
+from .network.simulator import Simulator
+
+#: Glyph ramp for 0..9 level intensity.
+_LEVEL_GLYPHS = "0123456789"
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def level_grid(simulator: Simulator) -> str:
+    """Per-router mean output-channel level over a 2-D mesh, as a grid.
+
+    Each cell shows the rounded mean DVS level (0 = slowest, 9 = fastest)
+    of the router's attached output channels; `.` marks routers whose
+    channels are all absent (never happens on a mesh of radix >= 2).
+    """
+    topology = simulator.topology
+    if topology.dimensions != 2:
+        raise ConfigError("level_grid renders 2-D meshes only")
+    by_node: dict[int, list[int]] = {}
+    for channel in simulator.channels:
+        by_node.setdefault(channel.spec.src_node, []).append(channel.dvs.level)
+    lines = []
+    for y in range(topology.radix):
+        row = []
+        for x in range(topology.radix):
+            levels = by_node.get(topology.node_at((x, y)))
+            if not levels:
+                row.append(".")
+            else:
+                mean = sum(levels) / len(levels)
+                row.append(_LEVEL_GLYPHS[min(9, int(round(mean)))])
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def channel_level_heatmap(simulator: Simulator, *, direction: int = 0) -> str:
+    """Levels of every channel pointing in one direction, as a grid.
+
+    ``direction`` is the output port index (0 = +x, 1 = -x, 2 = +y, ...).
+    Cells without such a channel (mesh edges) render as `.`.
+    """
+    topology = simulator.topology
+    if topology.dimensions != 2:
+        raise ConfigError("heatmaps render 2-D meshes only")
+    if not 0 <= direction < topology.ports_per_router:
+        raise ConfigError(f"direction {direction} out of range")
+    levels = {
+        channel.spec.src_node: channel.dvs.level
+        for channel in simulator.channels
+        if channel.spec.src_port == direction
+    }
+    lines = []
+    for y in range(topology.radix):
+        row = []
+        for x in range(topology.radix):
+            level = levels.get(topology.node_at((x, y)))
+            row.append("." if level is None else _LEVEL_GLYPHS[level])
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def sparkline(values, *, width: int = 60) -> str:
+    """One-line sparkline of a numeric series (downsampled to *width*)."""
+    values = list(values)
+    if not values:
+        raise ConfigError("nothing to render")
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low = min(values)
+    span = max(values) - low
+    if span == 0.0:
+        return _SPARK_GLYPHS[0] * len(values)
+    return "".join(
+        _SPARK_GLYPHS[min(9, int(10 * (v - low) / span))] for v in values
+    )
+
+
+def utilization_bars(simulator: Simulator, *, top: int = 10) -> str:
+    """The *top* busiest channels by cumulative busy time, as bars."""
+    ranked = sorted(
+        simulator.channels, key=lambda ch: ch.dvs.busy_cycles_total, reverse=True
+    )[:top]
+    if not ranked:
+        raise ConfigError("no channels")
+    peak = ranked[0].dvs.busy_cycles_total or 1.0
+    lines = ["busiest channels (cumulative busy cycles)"]
+    for channel in ranked:
+        spec = channel.spec
+        bar = "#" * int(round(30 * channel.dvs.busy_cycles_total / peak))
+        lines.append(
+            f"  {spec.src_node:>3}:{spec.src_port} -> {spec.dst_node:>3}  "
+            f"L{channel.dvs.level}  {bar}"
+        )
+    return "\n".join(lines)

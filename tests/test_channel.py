@@ -1,0 +1,51 @@
+"""Tests for the topology-bound network channel."""
+
+import pytest
+
+from repro.core.dvs_link import DVSChannel, TransitionTiming
+from repro.core.levels import PAPER_TABLE
+from repro.core.power_model import PAPER_LINK_POWER
+from repro.errors import ConfigError
+from repro.network.channel import NetworkChannel
+from repro.network.topology import ChannelSpec
+
+
+def make_network_channel(initial_level=9, pipeline_latency=12):
+    dvs = DVSChannel(
+        PAPER_TABLE,
+        PAPER_LINK_POWER,
+        timing=TransitionTiming(0.5e-6, 5),
+        initial_level=initial_level,
+    )
+    spec = ChannelSpec(0, src_node=0, src_port=0, dst_node=1, dst_port=1, )
+    return NetworkChannel(spec, dvs, pipeline_latency)
+
+
+class TestArrivalTiming:
+    def test_max_speed_arrival(self):
+        channel = make_network_channel(initial_level=9, pipeline_latency=12)
+        # serialization 1 cycle + pipeline 12: launch at 100 -> arrive 113.
+        assert channel.send(100) == 113
+
+    def test_min_speed_arrival(self):
+        channel = make_network_channel(initial_level=0, pipeline_latency=12)
+        # serialization 8 cycles at 125 MHz.
+        assert channel.send(100) == 120
+
+    def test_fractional_serialization_ceils(self):
+        channel = make_network_channel(initial_level=8, pipeline_latency=0)
+        ser = channel.serialization_cycles
+        assert channel.send(0) == -(-int(ser * 1000) // 1000)  # ceil(ser)
+
+    def test_back_to_back_uses_staging(self):
+        channel = make_network_channel(initial_level=0, pipeline_latency=0)
+        first = channel.send(0)
+        assert not channel.can_accept(1)
+        assert channel.can_accept(int(first) - 1 + 1) or channel.can_accept(int(first))
+
+    def test_negative_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            make_network_channel(pipeline_latency=-1)
+
+    def test_repr_mentions_endpoints(self):
+        assert "0:0 -> 1:1" in repr(make_network_channel())

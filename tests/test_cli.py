@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.rate == 1.0
+        assert args.policy == "history"
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_every_paper_figure_has_a_cli_name(self):
+        for name in (
+            "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
+            "fig16b", "fig17a", "fig17b", "headline",
+        ):
+            assert name in FIGURES
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "125.0" in out          # VF table
+        assert "TOTAL" in out          # hardware estimate
+        assert "Table 2" in out
+
+    def test_run_smoke(self, capsys):
+        assert main(["run", "--rate", "0.2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted packets/cycle" in out
+        assert "savings factor" in out
+
+    def test_figure_with_json(self, capsys, tmp_path):
+        path = tmp_path / "fig7.json"
+        assert main(["figure", "fig7", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["figure"] == "Figure 7"
+        assert any(row[0] == "links" for row in data["rows"])
+
+    def test_bad_scale_reports_error(self, capsys):
+        assert main(["run", "--scale", "galactic"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,30 @@
+"""CLI sweep and figure commands at smoke scale (slowish, end-to-end)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSweepCommand:
+    def test_sweep_smoke(self, capsys):
+        code = main(["sweep", "--rates", "0.2,0.6", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lat_nodvs" in out
+        assert "power savings" in out
+
+    def test_sweep_bad_rates(self, capsys):
+        with pytest.raises(ValueError):
+            main(["sweep", "--rates", "fast", "--scale", "smoke"])
+
+
+class TestFigureCommand:
+    def test_fig8_smoke(self, capsys):
+        assert main(["figure", "fig8", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_ablation_weight_smoke(self, capsys):
+        assert main(["figure", "ablation-weight", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "EWMA" in out or "Ablation" in out

@@ -1,0 +1,36 @@
+"""The exception hierarchy: everything catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.TopologyError,
+    errors.RoutingError,
+    errors.SimulationError,
+    errors.FlowControlError,
+    errors.LinkStateError,
+    errors.WorkloadError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_flow_control_is_simulation_error():
+    assert issubclass(errors.FlowControlError, errors.SimulationError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_raisable_with_message(exc):
+    with pytest.raises(errors.ReproError, match="boom"):
+        raise exc("boom")

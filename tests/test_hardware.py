@@ -1,0 +1,61 @@
+"""Tests for the controller hardware cost model (paper Section 3.3)."""
+
+import pytest
+
+from repro.core.hardware import ControllerHardwareModel
+from repro.errors import ConfigError
+
+
+class TestPaperEnvelope:
+    def test_gate_count_near_500(self):
+        """Paper: ~500 equivalent gates per router port."""
+        model = ControllerHardwareModel()
+        assert 300 <= model.total_gates <= 700
+
+    def test_power_under_3mw(self):
+        """Paper: < 3 mW per router port."""
+        model = ControllerHardwareModel()
+        assert model.power_w < 3.0e-3
+
+    def test_breakdown_sums_to_total(self):
+        model = ControllerHardwareModel()
+        assert sum(model.breakdown().values()) == pytest.approx(model.total_gates)
+
+    def test_describe(self):
+        text = ControllerHardwareModel().describe()
+        assert "TOTAL" in text
+        assert "mW" in text
+
+
+class TestScaling:
+    def test_bigger_window_needs_wider_counter(self):
+        small = ControllerHardwareModel(history_window=200)
+        large = ControllerHardwareModel(history_window=200_000)
+        assert large.busy_counter_bits > small.busy_counter_bits
+        assert large.total_gates > small.total_gates
+
+    def test_power_scales_with_gate_power(self):
+        base = ControllerHardwareModel()
+        hot = ControllerHardwareModel(gate_power_w=6.0e-6)
+        assert hot.power_w == pytest.approx(2 * base.power_w)
+
+    def test_busy_counter_bits(self):
+        assert ControllerHardwareModel(history_window=200).busy_counter_bits == 8
+        assert ControllerHardwareModel(history_window=255).busy_counter_bits == 8
+        assert ControllerHardwareModel(history_window=256).busy_counter_bits == 9
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"history_window": 0},
+            {"buffer_capacity": 0},
+            {"utilization_bits": 0},
+            {"clock_hz": 0.0},
+            {"gate_power_w": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            ControllerHardwareModel(**kwargs)

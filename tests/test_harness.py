@@ -1,0 +1,176 @@
+"""Tests for the harness: scales, tables, serialization, sweeps."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.scales import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    get_scale,
+)
+from repro.harness.serialization import to_json, write_json
+from repro.harness.sweep import (
+    SweepPoint,
+    SweepComparison,
+    summarize_comparison,
+)
+from repro.harness.tables import render_table
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert PAPER_SCALE.voltage_transition_s == 10.0e-6
+        assert PAPER_SCALE.frequency_transition_link_cycles == 100
+        assert PAPER_SCALE.average_task_duration_s == 1.0e-3
+        assert DEFAULT_SCALE.radix == 8
+        assert SMOKE_SCALE.radix == 4
+
+    def test_timescale_hierarchy_preserved(self):
+        """Each preset keeps window << transition << task << horizon."""
+        for scale in (PAPER_SCALE, DEFAULT_SCALE, SMOKE_SCALE):
+            transition = scale.voltage_transition_s * 1.0e9  # cycles at 1 GHz
+            task = scale.average_task_duration_s * 1.0e9
+            assert 200 <= transition
+            assert transition < task
+            assert task <= scale.measure_cycles * 10
+
+    def test_get_scale(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert get_scale("default") is DEFAULT_SCALE
+        with pytest.raises(ExperimentError):
+            get_scale("huge")
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale() is SMOKE_SCALE
+
+    def test_simulation_builder(self):
+        config = SMOKE_SCALE.simulation(0.5)
+        assert config.network.radix == 4
+        assert config.workload.injection_rate == 0.5
+        assert config.dvs.policy == "history"
+
+    def test_simulation_overrides(self):
+        config = SMOKE_SCALE.simulation(
+            0.5,
+            policy="none",
+            workload_overrides={"average_tasks": 7},
+            link_overrides={"voltage_transition_s": 5.0e-6},
+        )
+        assert config.dvs.policy == "none"
+        assert config.workload.average_tasks == 7
+        assert config.link.voltage_transition_s == 5.0e-6
+
+    def test_shrink(self):
+        smaller = DEFAULT_SCALE.shrink(0.5)
+        assert smaller.measure_cycles == DEFAULT_SCALE.measure_cycles // 2
+        with pytest.raises(ExperimentError):
+            DEFAULT_SCALE.shrink(2.0)
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["a", "b"], [(1, 2.5), (10, 0.001)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_nan(self):
+        text = render_table(["x"], [(float("nan"),)])
+        assert "nan" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a"], [(1, 2)])
+
+    def test_no_columns(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])
+
+
+class TestSerialization:
+    def test_dataclass_round_trip(self, tmp_path):
+        point = SweepPoint(
+            target_rate=1.0,
+            offered_rate=0.9,
+            accepted_rate=0.85,
+            mean_latency=float("nan"),
+            median_latency=40.0,
+            normalized_power=0.25,
+            savings_factor=4.0,
+            transition_count=17,
+        )
+        path = write_json(point, tmp_path / "point.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["target_rate"] == 1.0
+        assert loaded["mean_latency"] == "nan"
+        assert loaded["transition_count"] == 17
+
+    def test_nested_structures(self):
+        data = {"list": [1, (2, 3)], "inf": float("inf"), "none": None}
+        converted = to_json(data)
+        assert converted == {"list": [1, [2, 3]], "inf": "inf", "none": None}
+
+    def test_exotic_leaf_reprs(self):
+        converted = to_json({"obj": object()})
+        assert isinstance(converted["obj"], str)
+
+
+def make_point(rate, latency, accepted, savings=3.0):
+    return SweepPoint(
+        target_rate=rate,
+        offered_rate=rate,
+        accepted_rate=accepted,
+        mean_latency=latency,
+        median_latency=latency,
+        normalized_power=1.0 / savings,
+        savings_factor=savings,
+        transition_count=0,
+    )
+
+
+class TestSummarizeComparison:
+    def test_headline_numbers(self):
+        baseline = [
+            make_point(0.1, 50.0, 0.1, savings=1.0),
+            make_point(0.5, 60.0, 0.5, savings=1.0),
+            make_point(1.0, 300.0, 0.8, savings=1.0),
+        ]
+        dvs = [
+            make_point(0.1, 55.0, 0.1, savings=5.0),
+            make_point(0.5, 75.0, 0.5, savings=4.0),
+            make_point(1.0, 500.0, 0.75, savings=3.0),
+        ]
+        summary = summarize_comparison(baseline, dvs)
+        assert summary.zero_load_increase == pytest.approx(0.1)
+        # Pre-saturation points: indexes 0 and 1 (baseline saturates at 2).
+        assert summary.average_presaturation_increase == pytest.approx(
+            (0.1 + 0.25) / 2
+        )
+        assert summary.throughput_change == pytest.approx(0.75 / 0.8 - 1.0)
+        assert summary.max_savings == 5.0
+        assert summary.average_savings == pytest.approx(4.5)
+
+    def test_describe(self):
+        baseline = [make_point(0.1, 50.0, 0.1, 1.0), make_point(0.5, 60.0, 0.5, 1.0)]
+        dvs = [make_point(0.1, 60.0, 0.1, 4.0), make_point(0.5, 80.0, 0.5, 4.0)]
+        text = summarize_comparison(baseline, dvs).describe()
+        assert "power savings" in text
+
+    def test_misaligned(self):
+        with pytest.raises(ExperimentError):
+            summarize_comparison([make_point(0.1, 50.0, 0.1)], [])
+
+    def test_comparison_is_dataclass(self):
+        assert dataclasses.is_dataclass(SweepComparison)
+
+    def test_nan_zero_load_rejected(self):
+        baseline = [make_point(0.1, float("nan"), 0.1)]
+        dvs = [make_point(0.1, 50.0, 0.1)]
+        with pytest.raises(ExperimentError):
+            summarize_comparison(baseline, dvs)

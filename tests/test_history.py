@@ -1,0 +1,115 @@
+"""Tests for EWMA prediction and window sampling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.history import EWMAPredictor, WindowSampler
+from repro.errors import ConfigError
+
+
+class TestEWMAPredictor:
+    def test_paper_update_rule(self):
+        # Par_predict = (W * current + past) / (W + 1) with W = 3.
+        predictor = EWMAPredictor(weight=3.0, initial=0.2)
+        assert predictor.update(0.6) == pytest.approx((3 * 0.6 + 0.2) / 4)
+
+    def test_sequence(self):
+        predictor = EWMAPredictor(weight=3.0)
+        predictor.update(1.0)
+        assert predictor.predicted == pytest.approx(0.75)
+        predictor.update(1.0)
+        assert predictor.predicted == pytest.approx(0.9375)
+
+    def test_decay_on_idle(self):
+        predictor = EWMAPredictor(weight=3.0, initial=1.0)
+        predictor.update(0.0)
+        assert predictor.predicted == pytest.approx(0.25)
+        predictor.update(0.0)
+        assert predictor.predicted == pytest.approx(0.0625)
+
+    def test_primed_flag(self):
+        predictor = EWMAPredictor()
+        assert not predictor.primed
+        predictor.update(0.5)
+        assert predictor.primed
+
+    def test_reset(self):
+        predictor = EWMAPredictor()
+        predictor.update(0.9)
+        predictor.reset(0.1)
+        assert predictor.predicted == 0.1
+        assert not predictor.primed
+
+    def test_shift_add_friendly(self):
+        assert EWMAPredictor(weight=3.0).is_shift_add_friendly
+        assert EWMAPredictor(weight=7.0).is_shift_add_friendly
+        assert not EWMAPredictor(weight=4.0).is_shift_add_friendly
+        assert not EWMAPredictor(weight=2.5).is_shift_add_friendly
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EWMAPredictor(weight=0.0)
+        with pytest.raises(ConfigError):
+            EWMAPredictor(initial=1.5)
+        predictor = EWMAPredictor()
+        with pytest.raises(ConfigError):
+            predictor.update(-0.1)
+
+    @given(
+        observations=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        ),
+        weight=st.sampled_from([1.0, 3.0, 7.0]),
+    )
+    def test_stays_in_unit_interval(self, observations, weight):
+        predictor = EWMAPredictor(weight=weight)
+        for value in observations:
+            predicted = predictor.update(value)
+            assert 0.0 <= predicted <= 1.0
+
+    @given(value=st.floats(min_value=0.0, max_value=1.0))
+    def test_converges_to_constant_input(self, value):
+        predictor = EWMAPredictor(weight=3.0)
+        for _ in range(40):
+            predictor.update(value)
+        assert predictor.predicted == pytest.approx(value, abs=1e-4)
+
+
+class TestWindowSampler:
+    def test_link_utilization(self):
+        sampler = WindowSampler(window_cycles=200, buffer_capacity=128)
+        sampler.add_busy_cycles(50.0)
+        lu, bu = sampler.close_window()
+        assert lu == pytest.approx(0.25)
+        assert bu == 0.0
+
+    def test_buffer_utilization(self):
+        sampler = WindowSampler(window_cycles=4, buffer_capacity=10)
+        for occupied in (2, 4, 6, 8):
+            sampler.add_buffer_sample(occupied)
+        _, bu = sampler.close_window()
+        assert bu == pytest.approx(0.5)
+
+    def test_window_resets(self):
+        sampler = WindowSampler(window_cycles=100, buffer_capacity=16)
+        sampler.add_busy_cycles(100.0)
+        sampler.close_window()
+        lu, bu = sampler.close_window()
+        assert lu == 0.0 and bu == 0.0
+
+    def test_lu_clamped(self):
+        # A flit straddling the window boundary can push raw busy time
+        # fractionally past the window.
+        sampler = WindowSampler(window_cycles=10, buffer_capacity=4)
+        sampler.add_busy_cycles(12.0)
+        lu, _ = sampler.close_window()
+        assert lu == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WindowSampler(0, 10)
+        with pytest.raises(ConfigError):
+            WindowSampler(10, 0)
+        sampler = WindowSampler(10, 10)
+        with pytest.raises(ConfigError):
+            sampler.add_busy_cycles(-1.0)

@@ -1,0 +1,148 @@
+"""Cross-cutting integration properties of the whole system.
+
+Determinism, workload-controlled comparisons via trace replay, and the
+qualitative paper relationships that must hold at any scale.
+"""
+
+import pytest
+
+from repro.config import DVSControlConfig
+from repro.network.simulator import Simulator
+from repro.traffic.trace import RecordingSource, TraceReplaySource
+
+from .conftest import small_config
+
+
+class TestDeterminism:
+    def test_same_config_same_results(self):
+        config = small_config(policy="history", rate=0.5, measure=2_000, seed=9)
+        first = Simulator(config).run()
+        second = Simulator(config).run()
+        assert first.offered_packets == second.offered_packets
+        assert first.ejected_packets == second.ejected_packets
+        assert first.latency.mean == second.latency.mean
+        assert first.power.mean_power_w == second.power.mean_power_w
+        assert first.power.transition_count == second.power.transition_count
+
+    def test_different_seed_different_traffic(self):
+        first = Simulator(small_config(rate=0.5, seed=1, measure=2_000)).run()
+        second = Simulator(small_config(rate=0.5, seed=2, measure=2_000)).run()
+        assert first.offered_packets != second.offered_packets
+
+
+class TestTraceControlledComparison:
+    def _record(self, config, cycles):
+        simulator = Simulator(config)
+        recorder = RecordingSource(simulator.traffic)
+        simulator.traffic = recorder
+        simulator.run_cycles(cycles)
+        return recorder.trace
+
+    def test_policies_see_identical_traffic(self):
+        """Replaying one recorded trace under both policies makes the
+        comparison workload-identical: offered counts match exactly."""
+        config = small_config(rate=0.4, warmup=0, measure=3_000)
+        trace = self._record(config, 3_000)
+        results = {}
+        for policy in ("none", "history"):
+            run_config = config.with_dvs(DVSControlConfig(policy=policy))
+            simulator = Simulator(run_config)
+            simulator.traffic = TraceReplaySource(
+                simulator.topology, run_config.workload, trace
+            )
+            simulator.begin_measurement()
+            simulator.run_cycles(3_000)
+            results[policy] = simulator.finish()
+        assert (
+            results["none"].offered_packets == results["history"].offered_packets
+        )
+        # DVS saves link power on the identical workload. (On a run this
+        # short, regulator transition overheads have not amortized, so the
+        # link-only decomposition is the meaningful comparison.)
+        assert (
+            results["history"].power.normalized_link_only
+            < results["none"].power.normalized_link_only
+        )
+        assert results["none"].power.normalized == pytest.approx(1.0)
+
+
+class TestPaperRelationships:
+    def test_dvs_latency_cost_and_power_benefit(self):
+        """The central trade-off at any scale: less power, more latency."""
+        config = small_config(
+            policy="none",
+            rate=0.3,
+            workload_kind="two_level",
+            warmup=1_000,
+            measure=4_000,
+            average_tasks=8,
+            average_task_duration_s=8.0e-6,
+            onoff_sources_per_task=8,
+        )
+        baseline = Simulator(config).run()
+        dvs = Simulator(config.with_dvs(DVSControlConfig(policy="history"))).run()
+        assert dvs.power.mean_power_w < baseline.power.mean_power_w
+        assert dvs.latency.mean > baseline.latency.mean
+
+    def test_lower_load_saves_more_power(self):
+        results = {}
+        for rate in (0.05, 0.8):
+            config = small_config(policy="history", rate=rate, measure=4_000)
+            results[rate] = Simulator(config).run()
+        assert (
+            results[0.05].power.normalized <= results[0.8].power.normalized * 1.1
+        )
+
+    def test_aggressive_thresholds_save_more_power(self):
+        from repro.core.thresholds import TABLE2_SETTINGS
+
+        results = {}
+        for name in ("I", "VI"):
+            config = small_config(rate=0.5, measure=4_000).with_dvs(
+                DVSControlConfig(
+                    policy="history", thresholds=TABLE2_SETTINGS[name]
+                )
+            )
+            results[name] = Simulator(config).run()
+        assert (
+            results["VI"].power.normalized <= results["I"].power.normalized * 1.05
+        )
+
+    def test_static_level_beats_nothing_but_not_history_at_light_load(self):
+        """A fixed mid-level saves power but can't track idleness as well
+        as the history policy on a light, bursty load."""
+        base = small_config(
+            rate=0.05,
+            workload_kind="two_level",
+            measure=5_000,
+            average_tasks=4,
+            average_task_duration_s=5.0e-6,
+            onoff_sources_per_task=4,
+        )
+        static = Simulator(
+            base.with_dvs(DVSControlConfig(policy="static", static_level=5))
+        ).run()
+        history = Simulator(
+            base.with_dvs(DVSControlConfig(policy="history"))
+        ).run()
+        assert static.power.normalized < 1.0
+        assert history.power.normalized < static.power.normalized
+
+
+class TestIdealLinksExtension:
+    def test_ideal_links_reduce_latency_cost(self):
+        """Instant transitions (the future-technology limit) cut the DVS
+        latency penalty without giving back much power."""
+        from repro.config import LinkConfig
+        import dataclasses
+
+        base = small_config(policy="history", rate=0.5, measure=5_000)
+        conservative = Simulator(base).run()
+        ideal_link = LinkConfig(
+            voltage_transition_s=1.0e-9,
+            frequency_transition_link_cycles=0,
+            filter_capacitance_f=1.0e-9,
+        )
+        ideal = Simulator(dataclasses.replace(base, link=ideal_link)).run()
+        assert ideal.latency.mean <= conservative.latency.mean * 1.2
+        assert ideal.power.normalized < 0.9

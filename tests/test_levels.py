@@ -1,0 +1,109 @@
+"""Tests for the VF table (repro.core.levels)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.levels import PAPER_TABLE, VFOperatingPoint, VFTable
+from repro.errors import ConfigError
+
+
+class TestVFOperatingPoint:
+    def test_valid(self):
+        point = VFOperatingPoint(1.0e9, 2.5)
+        assert point.frequency_hz == 1.0e9
+        assert point.voltage_v == 2.5
+
+    @pytest.mark.parametrize("freq,volt", [(0.0, 1.0), (-1.0, 1.0), (1e9, 0.0), (1e9, -0.5)])
+    def test_invalid(self, freq, volt):
+        with pytest.raises(ConfigError):
+            VFOperatingPoint(freq, volt)
+
+
+class TestPaperTable:
+    def test_ten_levels(self):
+        assert len(PAPER_TABLE) == 10
+
+    def test_endpoints(self):
+        assert PAPER_TABLE.frequency(0) == pytest.approx(125.0e6)
+        assert PAPER_TABLE.voltage(0) == pytest.approx(0.9)
+        assert PAPER_TABLE.frequency(9) == pytest.approx(1.0e9)
+        assert PAPER_TABLE.voltage(9) == pytest.approx(2.5)
+
+    def test_frequencies_strictly_increasing(self):
+        freqs = [p.frequency_hz for p in PAPER_TABLE]
+        assert freqs == sorted(freqs)
+        assert len(set(freqs)) == len(freqs)
+
+    def test_voltages_non_decreasing(self):
+        volts = [p.voltage_v for p in PAPER_TABLE]
+        assert volts == sorted(volts)
+
+    def test_max_level(self):
+        assert PAPER_TABLE.max_level == 9
+
+    def test_serialization_ratio_endpoints(self):
+        # 1 router cycle per flit at the top, 8 at the bottom (paper 4.2).
+        assert PAPER_TABLE.serialization_ratio(9, 1.0e9) == pytest.approx(1.0)
+        assert PAPER_TABLE.serialization_ratio(0, 1.0e9) == pytest.approx(8.0)
+
+    def test_clamp(self):
+        assert PAPER_TABLE.clamp(-3) == 0
+        assert PAPER_TABLE.clamp(42) == 9
+        assert PAPER_TABLE.clamp(5) == 5
+
+    def test_indexing_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PAPER_TABLE[10]
+        with pytest.raises(ConfigError):
+            PAPER_TABLE[-1]
+
+    def test_level_for_frequency(self):
+        assert PAPER_TABLE.level_for_frequency(125.0e6) == 0
+        assert PAPER_TABLE.level_for_frequency(1.0e9) == 9
+        assert PAPER_TABLE.level_for_frequency(500.0e6) in (3, 4)
+        assert PAPER_TABLE.level_for_frequency(99.0e9) == 9
+
+    def test_describe_mentions_all_levels(self):
+        text = PAPER_TABLE.describe()
+        assert "125.0" in text and "1000.0" in text
+        assert len(text.splitlines()) == 11  # header + 10 levels
+
+
+class TestVFTableValidation:
+    def test_needs_two_levels(self):
+        with pytest.raises(ConfigError):
+            VFTable([VFOperatingPoint(1e9, 2.5)])
+
+    def test_rejects_non_increasing_frequency(self):
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            VFTable([VFOperatingPoint(1e9, 1.0), VFOperatingPoint(1e9, 2.0)])
+
+    def test_rejects_decreasing_voltage(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            VFTable([VFOperatingPoint(1e8, 2.0), VFOperatingPoint(2e8, 1.0)])
+
+    def test_from_endpoints_validation(self):
+        with pytest.raises(ConfigError):
+            VFTable.from_endpoints(levels=1)
+        with pytest.raises(ConfigError):
+            VFTable.from_endpoints(min_frequency_hz=2e9, max_frequency_hz=1e9)
+        with pytest.raises(ConfigError):
+            VFTable.from_endpoints(min_voltage_v=3.0, max_voltage_v=2.5)
+
+    @given(levels=st.integers(min_value=2, max_value=32))
+    def test_from_endpoints_level_count(self, levels):
+        table = VFTable.from_endpoints(levels=levels)
+        assert len(table) == levels
+        assert table.frequency(0) == pytest.approx(125.0e6)
+        assert table.frequency(table.max_level) == pytest.approx(1.0e9)
+
+    @given(
+        levels=st.integers(min_value=2, max_value=16),
+        level_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_voltage_tracks_frequency_linearly(self, levels, level_frac):
+        table = VFTable.from_endpoints(levels=levels)
+        level = min(levels - 1, int(level_frac * levels))
+        point = table[level]
+        expected_voltage = 0.9 + (point.frequency_hz - 125.0e6) / 875.0e6 * 1.6
+        assert point.voltage_v == pytest.approx(expected_voltage)

@@ -1,0 +1,71 @@
+"""Tests for the level-occupancy collector."""
+
+import pytest
+
+from repro.core.dvs_link import DVSChannel, TransitionTiming
+from repro.core.levels import PAPER_TABLE
+from repro.core.power_model import PAPER_LINK_POWER
+from repro.errors import ConfigError
+from repro.metrics.levels import LevelOccupancyCollector, channel_level_map
+from repro.network.simulator import Simulator
+
+from .conftest import small_config
+
+
+def make_channels(levels):
+    return [
+        DVSChannel(
+            PAPER_TABLE,
+            PAPER_LINK_POWER,
+            timing=TransitionTiming(0.2e-6, 4),
+            initial_level=level,
+        )
+        for level in levels
+    ]
+
+
+class TestLevelOccupancyCollector:
+    def test_residency_fractions(self):
+        collector = LevelOccupancyCollector(make_channels([0, 0, 9]))
+        collector.sample()
+        residency = collector.residency()
+        assert residency[0] == pytest.approx(2 / 3)
+        assert residency[9] == pytest.approx(1 / 3)
+        assert sum(residency) == pytest.approx(1.0)
+
+    def test_mean_level(self):
+        collector = LevelOccupancyCollector(make_channels([3, 5]))
+        collector.sample()
+        collector.sample()
+        assert collector.mean_level() == pytest.approx(4.0)
+
+    def test_empty(self):
+        collector = LevelOccupancyCollector(make_channels([1]))
+        assert collector.residency() == [0.0] * 10
+        with pytest.raises(ConfigError):
+            collector.mean_level()
+
+    def test_needs_channels(self):
+        with pytest.raises(ConfigError):
+            LevelOccupancyCollector([])
+
+    def test_describe(self):
+        collector = LevelOccupancyCollector(make_channels([0]))
+        collector.sample()
+        text = collector.describe()
+        assert "L0" in text and "L9" in text
+
+
+class TestChannelLevelMap:
+    def test_map_covers_all_channels(self):
+        simulator = Simulator(small_config())
+        mapping = channel_level_map(simulator)
+        assert len(mapping) == len(simulator.channels)
+        assert all(level == 9 for level in mapping.values())
+
+    def test_map_tracks_dvs(self):
+        config = small_config(policy="history", rate=0.02, warmup=0, measure=3_000)
+        simulator = Simulator(config)
+        simulator.run_cycles(3_000)
+        mapping = channel_level_map(simulator)
+        assert min(mapping.values()) < 9

@@ -1,0 +1,183 @@
+"""Tests for metrics: histogram, latency, throughput, time series."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, ExperimentError, SimulationError
+from repro.metrics.histogram import Histogram
+from repro.metrics.latency import LatencyCollector, LatencyStats
+from repro.metrics.throughput import saturation_point, saturation_throughput
+from repro.metrics.timeseries import WindowedSeries
+
+
+class TestHistogram:
+    def test_binning(self):
+        histogram = Histogram(bins=10)
+        for value in (0.05, 0.15, 0.15, 0.95):
+            histogram.add(value)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[1] == 2
+        assert histogram.counts[9] == 1
+
+    def test_clamping(self):
+        histogram = Histogram(bins=4)
+        histogram.add(-5.0)
+        histogram.add(5.0)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[3] == 1
+
+    def test_frequencies_sum_to_one(self):
+        histogram = Histogram(bins=5)
+        for i in range(37):
+            histogram.add((i % 10) / 10.0)
+        assert sum(histogram.frequencies()) == pytest.approx(1.0)
+
+    def test_empty_frequencies(self):
+        assert Histogram(bins=3).frequencies() == [0.0, 0.0, 0.0]
+
+    def test_mean(self):
+        histogram = Histogram(bins=10)
+        histogram.add(0.25)
+        histogram.add(0.35)
+        assert histogram.mean() == pytest.approx(0.30, abs=0.051)
+
+    def test_edges(self):
+        histogram = Histogram(bins=2, low=0.0, high=1.0)
+        assert histogram.bin_edges() == [0.0, 0.5, 1.0]
+
+    def test_describe(self):
+        histogram = Histogram(bins=2)
+        histogram.add(0.1)
+        text = histogram.describe("LU")
+        assert text.startswith("LU")
+        assert "#" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Histogram(bins=0)
+        with pytest.raises(ConfigError):
+            Histogram(bins=2, low=1.0, high=0.0)
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1))
+    def test_total_matches(self, values):
+        histogram = Histogram(bins=7)
+        for value in values:
+            histogram.add(value)
+        assert histogram.total == len(values)
+        assert sum(histogram.counts) == len(values)
+
+
+class TestLatencyCollector:
+    def test_stats(self):
+        collector = LatencyCollector()
+        for value in (10, 20, 30, 40, 50):
+            collector.record(value)
+        stats = collector.stats()
+        assert stats.count == 5
+        assert stats.mean == 30.0
+        assert stats.median == 30.0
+        assert stats.minimum == 10
+        assert stats.maximum == 50
+
+    def test_empty_stats_are_nan(self):
+        stats = LatencyCollector().stats()
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_percentile(self):
+        collector = LatencyCollector()
+        for value in range(1, 101):
+            collector.record(value)
+        assert collector.percentile(95) == 95.0
+        assert collector.percentile(100) == 100.0
+
+    def test_percentile_validation(self):
+        collector = LatencyCollector()
+        with pytest.raises(SimulationError):
+            collector.percentile(50)  # empty
+        collector.record(5)
+        with pytest.raises(SimulationError):
+            collector.percentile(150)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyCollector().record(-1)
+
+    def test_reset(self):
+        collector = LatencyCollector()
+        collector.record(5)
+        collector.reset()
+        assert collector.count == 0
+
+    def test_empty_factory(self):
+        assert LatencyStats.empty().count == 0
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_order_statistics_consistent(self, values):
+        collector = LatencyCollector()
+        for value in values:
+            collector.record(value)
+        stats = collector.stats()
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.p95 <= stats.maximum
+
+
+class TestSaturation:
+    def test_saturation_point_found(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        latencies = [50.0, 55.0, 80.0, 300.0]
+        assert saturation_point(rates, latencies, zero_load_latency=50.0) == 3
+
+    def test_no_saturation(self):
+        assert saturation_point([0.1, 0.2], [50.0, 60.0], 50.0) == -1
+
+    def test_nan_counts_as_saturated(self):
+        assert saturation_point([0.1, 0.2], [50.0, float("nan")], 50.0) == 1
+
+    def test_throughput_at_knee(self):
+        rates = [0.1, 0.2, 0.3, 0.4]
+        accepted = [0.1, 0.2, 0.28, 0.29]
+        latencies = [50.0, 55.0, 80.0, 300.0]
+        assert saturation_throughput(rates, accepted, latencies, 50.0) == 0.29
+
+    def test_throughput_unsaturated_returns_max(self):
+        assert (
+            saturation_throughput([0.1, 0.2], [0.1, 0.2], [50.0, 60.0], 50.0) == 0.2
+        )
+
+    def test_saturated_at_first_point_raises(self):
+        with pytest.raises(ExperimentError):
+            saturation_throughput([0.1], [0.1], [500.0], 50.0)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ExperimentError):
+            saturation_point([0.1], [1.0, 2.0], 50.0)
+
+
+class TestWindowedSeries:
+    def test_append_and_times(self):
+        series = WindowedSeries(window_cycles=100)
+        series.append(1.0)
+        series.append(2.0)
+        assert series.values == [1.0, 2.0]
+        assert series.times() == [100, 200]
+
+    def test_mean_variance(self):
+        series = WindowedSeries(10)
+        for value in (1.0, 2.0, 3.0):
+            series.append(value)
+        assert series.mean() == 2.0
+        assert series.variance() == pytest.approx(1.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ConfigError):
+            WindowedSeries(10).mean()
+
+    def test_variance_needs_two(self):
+        series = WindowedSeries(10)
+        series.append(1.0)
+        with pytest.raises(ConfigError):
+            series.variance()

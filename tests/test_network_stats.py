@@ -1,0 +1,72 @@
+"""Tests for network snapshots."""
+
+import pytest
+
+from repro.network.simulator import Simulator
+from repro.network.stats import NetworkSnapshot, snapshot
+
+from .conftest import small_config
+
+
+class TestSnapshot:
+    def test_shape(self):
+        simulator = Simulator(small_config())
+        simulator.run_cycles(1_000)
+        snap = snapshot(simulator)
+        assert snap.cycle == 1_000
+        assert len(snap.channels) == len(simulator.channels)
+        assert len(snap.routers) == simulator.topology.node_count
+        assert sum(snap.level_histogram) == len(snap.channels)
+
+    def test_levels_match_simulator(self):
+        config = small_config(policy="history", rate=0.05, measure=3_000)
+        simulator = Simulator(config)
+        simulator.run_cycles(3_000)
+        snap = snapshot(simulator)
+        assert snap.mean_level == pytest.approx(
+            simulator.accountant.mean_level()
+        )
+
+    def test_buffer_totals_match(self):
+        simulator = Simulator(small_config(rate=0.8))
+        simulator.run_cycles(1_500)
+        snap = snapshot(simulator)
+        assert snap.total_flits_in_buffers == sum(
+            router.total_buffered for router in simulator.routers
+        )
+
+    def test_busiest_channels_ordered(self):
+        simulator = Simulator(small_config(rate=0.5))
+        simulator.run_cycles(2_000)
+        ranked = snapshot(simulator).busiest_channels(4)
+        sent = [ch.flits_sent for ch in ranked]
+        assert sent == sorted(sent, reverse=True)
+        assert sent[0] > 0
+
+    def test_hottest_routers_ordered(self):
+        simulator = Simulator(small_config(rate=2.5))
+        simulator.run_cycles(2_000)
+        ranked = snapshot(simulator).hottest_routers(3)
+        heat = [r.buffered_flits + r.source_queue_depth for r in ranked]
+        assert heat == sorted(heat, reverse=True)
+
+    def test_utilization_in_unit_range(self):
+        simulator = Simulator(small_config(rate=1.5))
+        simulator.run_cycles(2_000)
+        for channel in snapshot(simulator).channels:
+            assert 0.0 <= channel.utilization <= 1.0
+
+    def test_snapshot_does_not_perturb(self):
+        config = small_config(rate=0.4, seed=3)
+        plain = Simulator(config)
+        observed = Simulator(config)
+        for _ in range(4):
+            plain.run_cycles(500)
+            observed.run_cycles(500)
+            snapshot(observed)
+        assert plain.total_ejected_packets == observed.total_ejected_packets
+
+    def test_empty_snapshot_mean_level(self):
+        snap = NetworkSnapshot(cycle=0, channels=(), routers=())
+        with pytest.raises(Exception):
+            _ = snap.mean_level

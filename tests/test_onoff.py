@@ -1,0 +1,122 @@
+"""Tests for the multiplexed Pareto ON/OFF source bank."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traffic.onoff import OnOffSourceSet
+
+
+def collect_rate(source_set, horizon):
+    total = 0
+    for now in range(horizon):
+        if source_set.next_time <= now:
+            total += source_set.advance(now)
+    return total / horizon
+
+
+class TestConstruction:
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(WorkloadError):
+            OnOffSourceSet(rng, sources=0, target_rate=0.1, start=0, end=100)
+        with pytest.raises(WorkloadError):
+            OnOffSourceSet(rng, sources=4, target_rate=0.0, start=0, end=100)
+        with pytest.raises(WorkloadError):
+            OnOffSourceSet(rng, sources=4, target_rate=0.1, start=100, end=100)
+
+    def test_high_rate_tightens_spacing(self):
+        rng = random.Random(1)
+        source_set = OnOffSourceSet(
+            rng, sources=1, target_rate=0.5, start=0, end=50_000, peak_interval=40.0
+        )
+        # duty = 0.5 * 40 = 20 >= 0.9 -> spacing tightened to 0.9 / rate.
+        assert source_set.peak_interval == pytest.approx(0.9 / 0.5)
+
+    def test_modes(self):
+        rng = random.Random(2)
+        dense = OnOffSourceSet(
+            rng, sources=2, target_rate=0.05, start=0, end=200_000
+        )
+        assert dense.mode == "renewal"
+        sparse = OnOffSourceSet(
+            rng, sources=64, target_rate=0.001, start=0, end=20_000
+        )
+        assert sparse.mode == "poisson_burst"
+
+
+class TestRateCalibration:
+    @pytest.mark.parametrize("target", [0.02, 0.1])
+    def test_renewal_mode_rate(self, target):
+        rates = []
+        for seed in range(8):
+            rng = random.Random(seed)
+            source_set = OnOffSourceSet(
+                rng, sources=16, target_rate=target, start=0, end=150_000
+            )
+            rates.append(collect_rate(source_set, 150_000))
+        mean = sum(rates) / len(rates)
+        assert mean == pytest.approx(target, rel=0.35)
+
+    def test_poisson_burst_mode_rate(self):
+        rates = []
+        for seed in range(12):
+            rng = random.Random(seed)
+            source_set = OnOffSourceSet(
+                rng, sources=32, target_rate=0.005, start=0, end=30_000
+            )
+            rates.append(collect_rate(source_set, 30_000))
+        mean = sum(rates) / len(rates)
+        assert mean == pytest.approx(0.005, rel=0.4)
+
+
+class TestLifetime:
+    def test_no_packets_after_end(self):
+        rng = random.Random(3)
+        source_set = OnOffSourceSet(
+            rng, sources=8, target_rate=0.05, start=100, end=5_000
+        )
+        last = -1.0
+        while not source_set.exhausted:
+            t = source_set.next_time
+            source_set.advance(int(math.ceil(t)))
+            last = t
+        assert last < 5_000
+
+    def test_no_packets_before_start(self):
+        rng = random.Random(4)
+        source_set = OnOffSourceSet(
+            rng, sources=8, target_rate=0.05, start=1_000, end=50_000
+        )
+        assert source_set.next_time >= 1_000
+
+    def test_exhaustion(self):
+        rng = random.Random(5)
+        source_set = OnOffSourceSet(
+            rng, sources=2, target_rate=0.01, start=0, end=2_000
+        )
+        source_set.advance(2_000)
+        assert source_set.exhausted
+        assert source_set.next_time == math.inf
+
+
+class TestBurstiness:
+    def test_traffic_is_overdispersed(self):
+        """ON/OFF traffic is far burstier than Poisson: the per-window
+        index of dispersion (variance/mean) is well above 1."""
+        rng = random.Random(6)
+        horizon = 100_000
+        source_set = OnOffSourceSet(
+            rng, sources=4, target_rate=0.05, start=0, end=horizon
+        )
+        window = 100
+        counts = [0] * (horizon // window)
+        for now in range(horizon):
+            if source_set.next_time <= now:
+                counts[now // window] += source_set.advance(now)
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / (len(counts) - 1)
+        assert mean > 0
+        assert variance / mean > 2.0

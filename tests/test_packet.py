@@ -1,0 +1,68 @@
+"""Tests for packets and flits."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.packet import Flit, Packet
+
+
+class TestPacket:
+    def test_construction(self):
+        packet = Packet(src=0, dst=5, size_flits=5, created_cycle=100)
+        assert packet.src == 0
+        assert packet.dst == 5
+        assert packet.ejected_cycle == -1
+        assert packet.vc_class == 0
+        assert packet.last_dim == -1
+
+    def test_ids_monotonic(self):
+        a = Packet(0, 1, 5, 0)
+        b = Packet(0, 1, 5, 0)
+        assert b.packet_id > a.packet_id
+
+    def test_latency(self):
+        packet = Packet(0, 1, 5, created_cycle=100)
+        packet.ejected_cycle = 175
+        assert packet.latency == 75
+
+    def test_latency_before_ejection_raises(self):
+        packet = Packet(0, 1, 5, 0)
+        with pytest.raises(ConfigError):
+            _ = packet.latency
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigError):
+            Packet(3, 3, 5, 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Packet(0, 1, 0, 0)
+
+
+class TestFlits:
+    def test_paper_packet_shape(self):
+        """Five flits: one head leading four body flits, last one the tail."""
+        packet = Packet(0, 1, 5, 0)
+        flits = packet.make_flits()
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert all(not f.is_head for f in flits[1:])
+        assert flits[-1].is_tail
+        assert all(not f.is_tail for f in flits[:-1])
+        assert [f.index for f in flits] == [0, 1, 2, 3, 4]
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        packet = Packet(0, 1, 1, 0)
+        (flit,) = packet.make_flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_reference_packet(self):
+        packet = Packet(0, 1, 3, 0)
+        for flit in packet.make_flits():
+            assert flit.packet is packet
+
+    def test_repr(self):
+        packet = Packet(0, 1, 2, 0)
+        head, tail = packet.make_flits()
+        assert "H" in repr(head)
+        assert "T" in repr(tail)

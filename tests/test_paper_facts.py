@@ -1,0 +1,112 @@
+"""The encoded paper facts must agree with the models built from them."""
+
+import pytest
+
+from repro.config import LinkConfig, NetworkConfig, WorkloadConfig
+from repro.core.hardware import ControllerHardwareModel
+from repro.core.levels import PAPER_TABLE
+from repro.core.power_model import PAPER_LINK_POWER
+from repro.harness.paper import (
+    HARDWARE_FACTS,
+    HEADLINE_CLAIMS,
+    LINK_FACTS,
+    ROUTER_FACTS,
+    WORKLOAD_FACTS,
+    headline_table,
+)
+from repro.power.report import nominal_network_power_w
+from repro.power.router_power import RouterPowerProfile
+from repro.units import bandwidth_bits_per_s
+
+
+class TestLinkFactsConsistency:
+    def test_vf_table_matches_facts(self):
+        assert len(PAPER_TABLE) == LINK_FACTS["levels"]
+        assert PAPER_TABLE.frequency(0) == LINK_FACTS["min_frequency_hz"]
+        assert PAPER_TABLE.frequency(9) == LINK_FACTS["max_frequency_hz"]
+        assert PAPER_TABLE.voltage(0) == LINK_FACTS["min_voltage_v"]
+        assert PAPER_TABLE.voltage(9) == LINK_FACTS["max_voltage_v"]
+
+    def test_power_model_matches_facts(self):
+        assert PAPER_LINK_POWER.level_power_w(PAPER_TABLE, 0) == pytest.approx(
+            LINK_FACTS["min_link_power_w"]
+        )
+        assert PAPER_LINK_POWER.level_power_w(PAPER_TABLE, 9) == pytest.approx(
+            LINK_FACTS["max_link_power_w"]
+        )
+
+    def test_channel_bandwidth(self):
+        assert bandwidth_bits_per_s(
+            LINK_FACTS["max_frequency_hz"],
+            LINK_FACTS["lanes_per_channel"],
+            LINK_FACTS["mux_ratio"],
+        ) == pytest.approx(LINK_FACTS["channel_bandwidth_bps"])
+
+    def test_link_config_defaults_match(self):
+        config = LinkConfig()
+        assert config.voltage_transition_s == LINK_FACTS["voltage_transition_s"]
+        assert (
+            config.frequency_transition_link_cycles
+            == LINK_FACTS["frequency_transition_link_cycles"]
+        )
+        assert config.filter_capacitance_f == LINK_FACTS["filter_capacitance_f"]
+        assert config.regulator_efficiency == LINK_FACTS["regulator_efficiency"]
+
+
+class TestRouterFactsConsistency:
+    def test_network_config_defaults_match(self):
+        config = NetworkConfig()
+        assert config.radix == ROUTER_FACTS["mesh_radix"]
+        assert config.router_clock_hz == ROUTER_FACTS["router_clock_hz"]
+        assert config.vcs_per_port == ROUTER_FACTS["virtual_channels"]
+        assert config.buffers_per_port == ROUTER_FACTS["flit_buffers_per_port"]
+        assert config.flits_per_packet == ROUTER_FACTS["flits_per_packet"]
+        assert config.pipeline_depth == ROUTER_FACTS["pipeline_stages"]
+
+    def test_nominal_power(self):
+        assert nominal_network_power_w() == pytest.approx(
+            ROUTER_FACTS["nominal_network_power_w"]
+        )
+
+    def test_fig7_anchors(self):
+        profile = RouterPowerProfile()
+        assert profile.link_fraction == ROUTER_FACTS["link_power_fraction"]
+        assert profile.allocator_power_w == ROUTER_FACTS["allocator_power_w"]
+
+
+class TestWorkloadFactsConsistency:
+    def test_workload_defaults_match(self):
+        config = WorkloadConfig()
+        assert config.on_shape == WORKLOAD_FACTS["on_shape"]
+        assert config.off_shape == WORKLOAD_FACTS["off_shape"]
+        assert (
+            config.onoff_sources_per_task
+            == WORKLOAD_FACTS["onoff_sources_per_task"]
+        )
+        low, high = WORKLOAD_FACTS["task_duration_range_s"]
+        assert low <= config.average_task_duration_s <= high
+
+
+class TestHardwareFactsConsistency:
+    def test_model_within_envelope(self):
+        model = ControllerHardwareModel()
+        assert model.total_gates <= HARDWARE_FACTS["gate_count"] * 1.4
+        assert model.power_w < HARDWARE_FACTS["max_power_w"]
+
+
+class TestHeadline:
+    def test_claims_well_formed(self):
+        metrics = [c.metric for c in HEADLINE_CLAIMS]
+        assert len(metrics) == len(set(metrics))
+        assert all(c.value > 0 for c in HEADLINE_CLAIMS)
+
+    def test_reproduction_status_honest(self):
+        """The latency claims are explicitly marked as not reproduced."""
+        by_metric = {c.metric: c for c in HEADLINE_CLAIMS}
+        assert not by_metric["zero_load_latency_increase"].reproduced
+        assert by_metric["max_power_savings_x"].reproduced
+
+    def test_table_rendering(self):
+        rows = headline_table()
+        assert len(rows) == len(HEADLINE_CLAIMS)
+        assert all(len(row) == 3 for row in rows)

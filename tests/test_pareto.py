@@ -1,0 +1,99 @@
+"""Tests for Pareto sampling and calibration helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.traffic.pareto import (
+    pareto_location_for_mean,
+    pareto_location_for_truncated_mean,
+    pareto_mean,
+    pareto_sample,
+    pareto_truncated_mean,
+)
+
+
+class TestSampling:
+    def test_samples_at_least_location(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            assert pareto_sample(rng, 1.4, 10.0) >= 10.0
+
+    def test_sample_mean_near_theory(self):
+        rng = random.Random(2)
+        shape = 1.8  # variance still infinite but mean converges faster
+        location = 5.0
+        samples = [pareto_sample(rng, shape, location) for _ in range(200_000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            pareto_mean(shape, location), rel=0.1
+        )
+
+    def test_heavy_tail_exists(self):
+        rng = random.Random(3)
+        samples = [pareto_sample(rng, 1.2, 1.0) for _ in range(50_000)]
+        assert max(samples) > 100.0  # heavy tail produces large outliers
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(WorkloadError):
+            pareto_sample(rng, 0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            pareto_sample(rng, 1.4, -1.0)
+
+
+class TestMoments:
+    def test_mean_formula(self):
+        assert pareto_mean(1.4, 10.0) == pytest.approx(35.0)
+        assert pareto_mean(1.2, 6.0) == pytest.approx(36.0)
+
+    def test_mean_requires_shape_above_one(self):
+        with pytest.raises(WorkloadError):
+            pareto_mean(1.0, 5.0)
+
+    def test_location_for_mean_round_trip(self):
+        location = pareto_location_for_mean(1.4, 35.0)
+        assert location == pytest.approx(10.0)
+
+    def test_truncated_mean_below_full_mean(self):
+        full = pareto_mean(1.2, 10.0)
+        truncated = pareto_truncated_mean(1.2, 10.0, 1_000.0)
+        assert truncated < full
+
+    def test_truncated_mean_approaches_full(self):
+        full = pareto_mean(1.8, 10.0)
+        truncated = pareto_truncated_mean(1.8, 10.0, 1.0e9)
+        assert truncated == pytest.approx(full, rel=1e-3)
+
+    def test_truncated_mean_caps_at_cap(self):
+        assert pareto_truncated_mean(1.4, 10.0, 5.0) == 5.0
+
+    def test_truncated_mean_matches_monte_carlo(self):
+        rng = random.Random(4)
+        shape, location, cap = 1.2, 20.0, 500.0
+        samples = [
+            min(pareto_sample(rng, shape, location), cap) for _ in range(200_000)
+        ]
+        assert sum(samples) / len(samples) == pytest.approx(
+            pareto_truncated_mean(shape, location, cap), rel=0.02
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shape=st.floats(min_value=1.1, max_value=1.9),
+        mean_frac=st.floats(min_value=0.05, max_value=0.9),
+        cap=st.floats(min_value=100.0, max_value=1.0e6),
+    )
+    def test_location_for_truncated_mean_inverts(self, shape, mean_frac, cap):
+        mean = mean_frac * cap
+        location = pareto_location_for_truncated_mean(shape, mean, cap)
+        assert pareto_truncated_mean(shape, location, cap) == pytest.approx(
+            mean, rel=1e-3
+        )
+
+    def test_location_for_truncated_mean_validation(self):
+        with pytest.raises(WorkloadError):
+            pareto_location_for_truncated_mean(1.4, 0.0, 100.0)
+        with pytest.raises(WorkloadError):
+            pareto_location_for_truncated_mean(1.4, 200.0, 100.0)

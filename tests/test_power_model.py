@@ -1,0 +1,143 @@
+"""Tests for the link power and transition-energy models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.levels import PAPER_TABLE, VFOperatingPoint, VFTable
+from repro.core.power_model import (
+    PAPER_LINK_POWER,
+    LinkPowerModel,
+    RegulatorModel,
+    transition_energy,
+)
+from repro.errors import ConfigError
+
+
+class TestTransitionEnergy:
+    def test_paper_example(self):
+        # Full swing 0.9 V -> 2.5 V with C = 5 uF, eta = 0.9 (paper Eq. 1).
+        energy = transition_energy(0.9, 2.5)
+        expected = 0.1 * 5.0e-6 * (2.5**2 - 0.9**2)
+        assert energy == pytest.approx(expected)
+
+    def test_symmetric(self):
+        assert transition_energy(0.9, 2.5) == pytest.approx(
+            transition_energy(2.5, 0.9)
+        )
+
+    def test_zero_for_no_change(self):
+        assert transition_energy(1.5, 1.5) == 0.0
+
+    def test_perfect_regulator_free(self):
+        assert transition_energy(0.9, 2.5, efficiency=0.0) == pytest.approx(
+            5.0e-6 * (2.5**2 - 0.9**2)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"filter_capacitance_f": 0.0},
+            {"filter_capacitance_f": -1.0},
+            {"efficiency": 1.0},
+            {"efficiency": -0.1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            transition_energy(0.9, 2.5, **kwargs)
+
+    def test_invalid_voltages(self):
+        with pytest.raises(ConfigError):
+            transition_energy(0.0, 2.5)
+
+    @given(
+        v1=st.floats(min_value=0.5, max_value=3.0),
+        v2=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_non_negative(self, v1, v2):
+        assert transition_energy(v1, v2) >= 0.0
+
+    @given(
+        v1=st.floats(min_value=0.5, max_value=3.0),
+        v2=st.floats(min_value=0.5, max_value=3.0),
+        v3=st.floats(min_value=0.5, max_value=3.0),
+    )
+    def test_triangle_multi_step_never_cheaper(self, v1, v2, v3):
+        """Going v1 -> v2 -> v3 costs at least as much as v1 -> v3 directly
+        when v2 is outside [v1, v3]; equal when between (|a-b| telescopes
+        on squared voltages)."""
+        direct = transition_energy(v1, v3)
+        stepped = transition_energy(v1, v2) + transition_energy(v2, v3)
+        assert stepped >= direct - 1e-18
+
+
+class TestRegulatorModel:
+    def test_defaults_match_paper(self):
+        regulator = RegulatorModel()
+        assert regulator.filter_capacitance_f == 5.0e-6
+        assert regulator.efficiency == 0.9
+
+    def test_transition_energy_delegates(self):
+        regulator = RegulatorModel()
+        assert regulator.transition_energy_j(0.9, 2.5) == pytest.approx(
+            transition_energy(0.9, 2.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RegulatorModel(filter_capacitance_f=-1.0)
+        with pytest.raises(ConfigError):
+            RegulatorModel(efficiency=1.5)
+
+
+class TestLinkPowerModel:
+    def test_hits_paper_anchors(self):
+        low = PAPER_LINK_POWER.power_w(VFOperatingPoint(125.0e6, 0.9))
+        high = PAPER_LINK_POWER.power_w(VFOperatingPoint(1.0e9, 2.5))
+        assert low == pytest.approx(23.6e-3, rel=1e-9)
+        assert high == pytest.approx(200.0e-3, rel=1e-9)
+
+    def test_coefficients_positive(self):
+        assert PAPER_LINK_POWER.switching_coefficient > 0.0
+        assert PAPER_LINK_POWER.bias_coefficient > 0.0
+
+    def test_monotone_over_table(self):
+        powers = PAPER_LINK_POWER.level_powers_w(PAPER_TABLE)
+        assert list(powers) == sorted(powers)
+        assert len(powers) == 10
+
+    def test_max_min_ratio_close_to_paper(self):
+        powers = PAPER_LINK_POWER.level_powers_w(PAPER_TABLE)
+        assert powers[-1] / powers[0] == pytest.approx(200.0 / 23.6, rel=1e-9)
+
+    def test_channel_power_at_max(self):
+        # 8 lanes x 200 mW = 1.6 W per channel (used in the paper's 409.6 W).
+        assert PAPER_LINK_POWER.channel_power_w(PAPER_TABLE, 9) == pytest.approx(1.6)
+
+    def test_channel_power_needs_lanes(self):
+        with pytest.raises(ConfigError):
+            PAPER_LINK_POWER.channel_power_w(PAPER_TABLE, 9, lanes=0)
+
+    def test_rejects_inverted_anchors(self):
+        with pytest.raises(ConfigError):
+            LinkPowerModel(low_power_w=0.3, high_power_w=0.2)
+
+    def test_rejects_nonpositive_anchor_power(self):
+        with pytest.raises(ConfigError):
+            LinkPowerModel(low_power_w=0.0)
+
+    def test_describe(self):
+        text = PAPER_LINK_POWER.describe(PAPER_TABLE)
+        assert "23.60" in text
+        assert "200.00" in text
+
+    @given(level=st.integers(min_value=0, max_value=9))
+    def test_power_between_anchors(self, level):
+        power = PAPER_LINK_POWER.level_power_w(PAPER_TABLE, level)
+        assert 23.6e-3 - 1e-12 <= power <= 200.0e-3 + 1e-12
+
+    def test_custom_table_consistency(self):
+        table = VFTable.from_endpoints(levels=4)
+        powers = PAPER_LINK_POWER.level_powers_w(table)
+        assert powers[0] == pytest.approx(23.6e-3)
+        assert powers[-1] == pytest.approx(200.0e-3)

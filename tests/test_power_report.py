@@ -1,0 +1,71 @@
+"""Tests for formatted power reporting."""
+
+import pytest
+
+from repro.config import LinkConfig, NetworkConfig
+from repro.errors import ConfigError
+from repro.power.accounting import PowerReport
+from repro.power.report import (
+    format_power_report,
+    nominal_network_power_w,
+    savings_by_component,
+)
+
+
+def make_report(mean=100.0, baseline=400.0, transitions=10):
+    return PowerReport(
+        mean_power_w=mean,
+        mean_link_power_w=mean * 0.98,
+        baseline_power_w=baseline,
+        normalized=mean / baseline,
+        normalized_link_only=mean * 0.98 / baseline,
+        savings_factor=baseline / mean,
+        transition_count=transitions,
+        transition_energy_j=1.0e-6,
+        duration_s=50.0e-6,
+    )
+
+
+class TestNominalPower:
+    def test_paper_409_6w(self):
+        """64 routers x 4 ports x 8 links x 0.2 W = 409.6 W (Section 4.2)."""
+        assert nominal_network_power_w() == pytest.approx(409.6)
+
+    def test_scales_with_topology(self):
+        small = nominal_network_power_w(NetworkConfig(radix=4))
+        assert small == pytest.approx(409.6 / 4)
+
+    def test_respects_link_config(self):
+        cheap = nominal_network_power_w(link=LinkConfig(high_power_w=0.1))
+        assert cheap == pytest.approx(204.8)
+
+
+class TestFormatting:
+    def test_contains_key_numbers(self):
+        text = format_power_report(make_report())
+        assert "100.00 W" in text
+        assert "400.00 W" in text
+        assert "4.00 X" in text
+        assert "transitions" in text
+
+    def test_rejects_empty_report(self):
+        report = PowerReport(1.0, 1.0, 2.0, 0.5, 0.5, 2.0, 0, 0.0, 0.0)
+        with pytest.raises(ConfigError):
+            format_power_report(report)
+
+
+class TestSavingsByComponent:
+    def test_link_only(self):
+        summary = savings_by_component(make_report())
+        assert summary["link_savings_factor"] == pytest.approx(4.0)
+        assert summary["total_savings_factor"] == pytest.approx(4.0)
+        assert summary["core_share_of_baseline"] == 0.0
+
+    def test_core_dilutes_savings(self):
+        summary = savings_by_component(make_report(), router_core_power_w=100.0)
+        assert summary["total_savings_factor"] == pytest.approx(500.0 / 200.0)
+        assert summary["total_savings_factor"] < summary["link_savings_factor"]
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(ConfigError):
+            savings_by_component(make_report(), router_core_power_w=-1.0)

@@ -1,0 +1,79 @@
+"""Tests for Hurst-exponent estimation and workload self-similarity.
+
+These validate the paper's Section 4.3 claim: the two-level ON/OFF
+workload is long-range dependent (H > 0.5) while Poisson traffic is not
+(H ~ 0.5). Block estimators are biased on short series, so the assertions
+check *separation*, not absolute values.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traffic.onoff import OnOffSourceSet
+from repro.traffic.selfsim import hurst_rs, hurst_variance_time
+
+
+def poisson_counts(rng, rate, n):
+    return [sum(1 for _ in range(20) if rng.random() < rate / 20) for _ in range(n)]
+
+
+def onoff_counts(seed, n, window=50):
+    rng = random.Random(seed)
+    source_set = OnOffSourceSet(
+        rng,
+        sources=16,
+        target_rate=0.2,
+        start=0,
+        end=n * window,
+        on_location=200.0,
+        peak_interval=10.0,
+    )
+    counts = [0] * n
+    for now in range(n * window):
+        if source_set.next_time <= now:
+            counts[now // window] += source_set.advance(now)
+    return counts
+
+
+class TestEstimators:
+    def test_white_noise_near_half(self):
+        rng = np.random.default_rng(1)
+        series = rng.poisson(5.0, size=8_192)
+        assert 0.35 < hurst_rs(series) < 0.68
+        assert 0.3 < hurst_variance_time(series) < 0.68
+
+    def test_integrated_noise_near_one(self):
+        """A random walk's increments aggregated -> H close to 1 for the
+        level series."""
+        rng = np.random.default_rng(2)
+        series = np.cumsum(rng.normal(size=8_192))
+        assert hurst_rs(series) > 0.8
+        assert hurst_variance_time(series) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            hurst_rs([1.0] * 100)  # constant
+        with pytest.raises(WorkloadError):
+            hurst_rs([1.0, 2.0])  # too short
+        with pytest.raises(WorkloadError):
+            hurst_variance_time(np.ones((4, 4)))  # not 1-D
+
+
+class TestWorkloadLRD:
+    def test_onoff_more_self_similar_than_poisson(self):
+        onoff_h = np.mean([hurst_variance_time(onoff_counts(s, 2_000)) for s in range(3)])
+        rng = random.Random(9)
+        poisson_h = np.mean(
+            [
+                hurst_variance_time(poisson_counts(rng, 5.0, 2_000))
+                for _ in range(3)
+            ]
+        )
+        assert onoff_h > poisson_h + 0.1
+
+    def test_onoff_hurst_above_half(self):
+        estimates = [hurst_rs(onoff_counts(seed, 2_000)) for seed in range(3)]
+        assert np.mean(estimates) > 0.55

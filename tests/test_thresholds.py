@@ -1,0 +1,77 @@
+"""Tests for threshold presets (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.core.thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS, ThresholdSet
+from repro.errors import ConfigError
+
+
+class TestTable1:
+    def test_paper_values(self):
+        assert TABLE1_DEFAULT.low_uncongested == 0.3
+        assert TABLE1_DEFAULT.high_uncongested == 0.4
+        assert TABLE1_DEFAULT.low_congested == 0.6
+        assert TABLE1_DEFAULT.high_congested == 0.7
+        assert TABLE1_DEFAULT.congested_bu == 0.5
+
+    def test_select_uncongested(self):
+        assert TABLE1_DEFAULT.select(0.2) == (0.3, 0.4)
+
+    def test_select_congested(self):
+        assert TABLE1_DEFAULT.select(0.5) == (0.6, 0.7)
+        assert TABLE1_DEFAULT.select(0.9) == (0.6, 0.7)
+
+    def test_congested_pair_more_aggressive(self):
+        # Higher thresholds step down at higher LU -> more power savings.
+        assert TABLE1_DEFAULT.low_congested > TABLE1_DEFAULT.low_uncongested
+
+
+class TestTable2:
+    def test_six_settings(self):
+        assert sorted(TABLE2_SETTINGS) == ["I", "II", "III", "IV", "V", "VI"]
+
+    def test_paper_rows(self):
+        expected = {
+            "I": (0.2, 0.3),
+            "II": (0.25, 0.35),
+            "III": (0.3, 0.4),
+            "IV": (0.35, 0.45),
+            "V": (0.4, 0.5),
+            "VI": (0.5, 0.6),
+        }
+        for name, (low, high) in expected.items():
+            setting = TABLE2_SETTINGS[name]
+            assert setting.low_uncongested == pytest.approx(low)
+            assert setting.high_uncongested == pytest.approx(high)
+
+    def test_setting_iii_is_table1(self):
+        assert TABLE2_SETTINGS["III"] == TABLE1_DEFAULT
+
+    def test_aggressiveness_increases(self):
+        lows = [TABLE2_SETTINGS[k].low_uncongested for k in ("I", "II", "III", "IV", "V", "VI")]
+        assert lows == sorted(lows)
+
+    def test_congested_pair_shared(self):
+        for setting in TABLE2_SETTINGS.values():
+            assert setting.low_congested == 0.6
+            assert setting.high_congested == 0.7
+
+
+class TestValidation:
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ThresholdSet(low_uncongested=-0.1)
+        with pytest.raises(ConfigError):
+            ThresholdSet(congested_bu=1.5)
+
+    def test_ordering(self):
+        with pytest.raises(ConfigError):
+            ThresholdSet(low_uncongested=0.5, high_uncongested=0.4)
+        with pytest.raises(ConfigError):
+            ThresholdSet(low_congested=0.7, high_congested=0.7)
+
+    def test_with_light_load_pair(self):
+        replaced = TABLE1_DEFAULT.with_light_load_pair(0.1, 0.2)
+        assert replaced.low_uncongested == 0.1
+        assert replaced.high_uncongested == 0.2
+        assert replaced.low_congested == TABLE1_DEFAULT.low_congested

@@ -1,0 +1,78 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import WorkloadError
+from repro.network.topology import Topology
+from repro.traffic.trace import RecordingSource, TraceReplaySource
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+def make_uniform(topology, seed=1):
+    return UniformRandomTraffic(
+        topology, WorkloadConfig(kind="uniform", injection_rate=0.5, seed=seed)
+    )
+
+
+class TestRecording:
+    def test_record_passthrough(self):
+        topology = Topology(3, 2)
+        recorder = RecordingSource(make_uniform(topology))
+        emitted = []
+        for now in range(2_000):
+            emitted.extend(recorder.injections(now))
+        assert len(recorder.trace) == len(emitted)
+        assert [(s, d) for _, s, d in recorder.trace] == emitted
+
+    def test_replay_reproduces_recording(self):
+        topology = Topology(3, 2)
+        recorder = RecordingSource(make_uniform(topology))
+        for now in range(1_000):
+            recorder.injections(now)
+        replay = TraceReplaySource(
+            topology, WorkloadConfig(kind="uniform"), recorder.trace
+        )
+        replayed = []
+        for now in range(1_000):
+            replayed.extend(replay.injections(now))
+        assert [(s, d) for _, s, d in recorder.trace] == replayed
+
+    def test_save_load_round_trip(self, tmp_path):
+        topology = Topology(3, 2)
+        recorder = RecordingSource(make_uniform(topology))
+        for now in range(500):
+            recorder.injections(now)
+        path = tmp_path / "trace.json"
+        recorder.save(path)
+        replay = TraceReplaySource.load(
+            topology, WorkloadConfig(kind="uniform"), path
+        )
+        assert replay.trace == recorder.trace
+
+
+class TestReplayValidation:
+    def test_unsorted_rejected(self):
+        topology = Topology(3, 2)
+        with pytest.raises(WorkloadError):
+            TraceReplaySource(
+                topology, WorkloadConfig(kind="uniform"), [(5, 0, 1), (3, 0, 1)]
+            )
+
+    def test_bad_nodes_rejected(self):
+        topology = Topology(3, 2)
+        with pytest.raises(WorkloadError):
+            TraceReplaySource(topology, WorkloadConfig(kind="uniform"), [(0, 99, 1)])
+        with pytest.raises(WorkloadError):
+            TraceReplaySource(topology, WorkloadConfig(kind="uniform"), [(0, 1, 1)])
+
+    def test_pending_injections(self):
+        topology = Topology(3, 2)
+        replay = TraceReplaySource(
+            topology, WorkloadConfig(kind="uniform"), [(0, 0, 1), (10, 1, 2)]
+        )
+        assert replay.pending_injections() == 2
+        replay.injections(0)
+        assert replay.pending_injections() == 1
+        replay.injections(10)
+        assert replay.pending_injections() == 0

@@ -1,0 +1,73 @@
+"""Tests for repro.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import ConfigError
+
+
+class TestConversions:
+    def test_mhz(self):
+        assert units.mhz(125.0) == 125.0e6
+
+    def test_ghz(self):
+        assert units.ghz(1.0) == 1.0e9
+
+    def test_microseconds(self):
+        assert units.microseconds(10.0) == pytest.approx(10.0e-6)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(1.0) == pytest.approx(1.0e-3)
+
+    def test_milliwatts(self):
+        assert units.milliwatts(23.6) == pytest.approx(0.0236)
+
+
+class TestSecondsToCycles:
+    def test_paper_voltage_transition(self):
+        # 10 us at the 1 GHz router clock is 10,000 cycles.
+        assert units.seconds_to_cycles(10.0e-6, 1.0e9) == 10_000
+
+    def test_rounding(self):
+        assert units.seconds_to_cycles(1.4e-9, 1.0e9) == 1
+        assert units.seconds_to_cycles(1.6e-9, 1.0e9) == 2
+
+    def test_zero_duration(self):
+        assert units.seconds_to_cycles(0.0, 1.0e9) == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            units.seconds_to_cycles(-1.0e-6, 1.0e9)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            units.seconds_to_cycles(1.0e-6, 0.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1e-2))
+    def test_round_trip(self, duration):
+        cycles = units.seconds_to_cycles(duration, 1.0e9)
+        back = units.cycles_to_seconds(cycles, 1.0e9)
+        assert back == pytest.approx(duration, abs=1e-9)
+
+
+class TestCyclesToSeconds:
+    def test_simple(self):
+        assert units.cycles_to_seconds(1000, 1.0e9) == pytest.approx(1.0e-6)
+
+    def test_bad_clock(self):
+        with pytest.raises(ConfigError):
+            units.cycles_to_seconds(10, -1.0)
+
+
+class TestBandwidth:
+    def test_paper_channel_max(self):
+        # 8 serial links at 1 GHz with 4:1 mux = 32 Gb/s.
+        assert units.bandwidth_bits_per_s(1.0e9, 8, 4) == pytest.approx(32.0e9)
+
+    def test_paper_channel_min(self):
+        assert units.bandwidth_bits_per_s(125.0e6, 8, 4) == pytest.approx(4.0e9)
+
+    def test_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            units.bandwidth_bits_per_s(1.0e9, 0, 4)

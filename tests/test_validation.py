@@ -1,0 +1,83 @@
+"""Tests for cross-scale shape validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.scales import SMOKE_SCALE
+from repro.harness.validation import (
+    ScaleObservation,
+    ValidationReport,
+    observe_scale,
+    validate_scales,
+)
+
+
+def obs(name="a", savings=(5.0, 3.0), ratios=(2.0, 3.0), throughput=-0.02):
+    return ScaleObservation(
+        scale_name=name,
+        savings_by_rate=savings,
+        latency_ratio_by_rate=ratios,
+        throughput_change=throughput,
+    )
+
+
+class TestObservation:
+    def test_savings_trend(self):
+        assert obs(savings=(5.0, 3.0)).savings_decrease_with_load
+        assert not obs(savings=(2.0, 5.0)).savings_decrease_with_load
+
+    def test_latency_cost(self):
+        assert obs(ratios=(1.5, 2.0)).dvs_costs_latency
+        assert not obs(ratios=(0.9, 2.0)).dvs_costs_latency
+
+
+class TestReport:
+    def test_consistent_pair(self):
+        report = ValidationReport(obs("a"), obs("b"))
+        assert report.consistent
+        assert report.disagreements() == []
+
+    def test_flags_weak_savings(self):
+        report = ValidationReport(obs("a", savings=(1.0, 1.0)), obs("b"))
+        assert not report.consistent
+        assert any("1.2X" in d for d in report.disagreements())
+
+    def test_flags_missing_latency_cost(self):
+        report = ValidationReport(obs("a", ratios=(0.8, 0.9)), obs("b"))
+        assert any("latency" in d for d in report.disagreements())
+
+    def test_flags_throughput_collapse(self):
+        report = ValidationReport(obs("a", throughput=-0.4), obs("b"))
+        assert any("throughput" in d for d in report.disagreements())
+
+    def test_flags_trend_disagreement(self):
+        report = ValidationReport(
+            obs("a", savings=(5.0, 3.0)), obs("b", savings=(2.0, 5.0))
+        )
+        assert any("trend" in d for d in report.disagreements())
+
+
+class TestLiveValidation:
+    def test_observe_smoke_scale(self):
+        tiny = dataclasses.replace(
+            SMOKE_SCALE, warmup_cycles=1_000, measure_cycles=4_000
+        )
+        observation = observe_scale(tiny, rates=(0.2, 0.8))
+        assert observation.scale_name == "smoke"
+        assert len(observation.savings_by_rate) == 2
+        assert all(s > 1.0 for s in observation.savings_by_rate)
+
+    def test_smoke_consistent_with_itself_across_seeds(self):
+        tiny = dataclasses.replace(
+            SMOKE_SCALE, warmup_cycles=1_000, measure_cycles=4_000
+        )
+        report = validate_scales(tiny, tiny, rates=(0.2, 0.8))
+        assert isinstance(report, ValidationReport)
+        # Self-comparison at a sane scale should be consistent.
+        assert report.consistent, report.disagreements()
+
+    def test_needs_two_rates(self):
+        with pytest.raises(ExperimentError):
+            observe_scale(SMOKE_SCALE, rates=(0.5,))

@@ -1,0 +1,43 @@
+"""Tests for per-VC state."""
+
+from repro.network.packet import Packet
+from repro.network.vc import UNROUTED, InputVC
+
+
+class TestInputVC:
+    def test_initial_state(self):
+        vc = InputVC(8)
+        assert vc.out_port == UNROUTED
+        assert vc.out_vc == UNROUTED
+        assert vc.route_options is None
+        assert not vc.active
+        assert not vc.needs_route
+
+    def test_needs_route_with_head_at_front(self):
+        vc = InputVC(8)
+        flits = Packet(0, 1, 3, 0).make_flits()
+        vc.buffer.enqueue(flits[0], 0)
+        assert vc.needs_route
+
+    def test_no_route_needed_for_body(self):
+        vc = InputVC(8)
+        flits = Packet(0, 1, 3, 0).make_flits()
+        vc.buffer.enqueue(flits[1], 0)  # body flit (malformed stream)
+        assert not vc.needs_route
+
+    def test_active_after_assignment(self):
+        vc = InputVC(8)
+        vc.out_port = 2
+        vc.out_vc = 1
+        assert vc.active
+        assert not vc.needs_route or vc.buffer.is_empty
+
+    def test_reset_route(self):
+        vc = InputVC(8)
+        vc.out_port = 2
+        vc.out_vc = 1
+        vc.route_options = [(2, (0, 1))]
+        vc.reset_route()
+        assert vc.out_port == UNROUTED
+        assert vc.out_vc == UNROUTED
+        assert vc.route_options is None
