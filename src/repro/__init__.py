@@ -12,7 +12,10 @@ The package provides, from scratch:
   workloads (:mod:`repro.traffic`);
 * power accounting and the router power profile (:mod:`repro.power`);
 * metrics (:mod:`repro.metrics`) and the per-figure experiment harness
-  (:mod:`repro.harness`).
+  (:mod:`repro.harness`);
+* a pluggable instrumentation bus — observers for latency, power, series,
+  probes and event traces attach to the cycle kernel without touching it
+  (:mod:`repro.instrument`; see ``docs/architecture.md``).
 
 Quick start::
 
@@ -61,7 +64,10 @@ from .errors import (
     TopologyError,
     WorkloadError,
 )
-from .network import Simulator, SimulationResult, Topology
+# network must initialize before instrument: the observer implementations
+# import metrics, which reaches back into network.flowcontrol.
+from .network import SimulationEngine, Simulator, SimulationResult, Topology
+from .instrument import InstrumentBus, Observer, TraceRecorder, TransitionEvent
 from .power import PowerAccountant, PowerReport, RouterPowerProfile
 
 __version__ = "1.0.0"
@@ -96,8 +102,14 @@ __all__ = [
     "ControllerHardwareModel",
     # network
     "Topology",
+    "SimulationEngine",
     "Simulator",
     "SimulationResult",
+    # instrumentation
+    "InstrumentBus",
+    "Observer",
+    "TransitionEvent",
+    "TraceRecorder",
     # power
     "PowerAccountant",
     "PowerReport",

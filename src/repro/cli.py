@@ -26,11 +26,13 @@ from .core.power_model import PAPER_LINK_POWER
 from .core.thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS
 from .errors import ReproError
 from .harness import experiments
+from .harness.backends import make_backend
 from .harness.runner import run_simulation
 from .harness.scales import get_scale
 from .harness.serialization import write_json
 from .harness.sweep import compare_policies, summarize_comparison
 from .harness.tables import render_table
+from .instrument.trace import TraceRecorder
 from .power.report import format_power_report
 from .power.router_power import RouterPowerProfile
 
@@ -39,7 +41,7 @@ FIGURES: dict[str, Callable] = {
     "fig3": experiments.fig3_link_utilization_profile,
     "fig4": experiments.fig4_buffer_utilization_profile,
     "fig5": experiments.fig5_buffer_age_profile,
-    "fig7": lambda scale: experiments.fig7_router_power_distribution(),
+    "fig7": experiments.fig7_router_power_distribution,
     "fig8": experiments.fig8_spatial_variance,
     "fig9": experiments.fig9_temporal_variance,
     "fig10": experiments.fig10_dvs_vs_nodvs,
@@ -63,6 +65,9 @@ FIGURES: dict[str, Callable] = {
     "extension-adaptive": experiments.ablation_adaptive_thresholds,
 }
 
+#: Figures whose output is analytical and does not depend on --scale.
+SCALE_INDEPENDENT = {"fig7"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -80,6 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tasks", type=int, default=100, help="average concurrent task sessions")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--scale", default=None, help="smoke | default | paper")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a JSONL trace of DVS transitions to PATH")
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="rate sweep, DVS vs non-DVS")
@@ -87,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated offered rates")
     sweep.add_argument("--scale", default=None)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the sweep (1 = serial)")
     sweep.set_defaults(func=cmd_sweep)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -121,7 +130,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         policy=args.policy,
         workload_overrides={"average_tasks": args.tasks, "seed": args.seed},
     )
-    result = run_simulation(config)
+    recorder = TraceRecorder(args.trace) if args.trace else None
+    observers = (recorder,) if recorder else ()
+    result = run_simulation(config, observers=observers)
     print(
         render_table(
             ["metric", "value"],
@@ -139,6 +150,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print()
     print(format_power_report(result.power))
+    if recorder is not None:
+        recorder.close()
+        print(f"\ntrace: {len(recorder.records)} records written to {args.trace}")
     return 0
 
 
@@ -153,6 +167,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "none": DVSControlConfig(policy="none"),
             "history": DVSControlConfig(policy="history"),
         },
+        backend=make_backend(args.processes),
     )
     rows = [
         (
@@ -180,6 +195,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
+    if args.name in SCALE_INDEPENDENT and args.scale is not None:
+        print(
+            f"note: {args.name} is analytical; --scale {args.scale} has no effect",
+            file=sys.stderr,
+        )
     figure = FIGURES[args.name](scale)
     print(figure.render())
     if args.json:

@@ -336,7 +336,15 @@ class DVSChannel:
     # ------------------------------------------------------------------
 
     def finalize(self, now: int) -> None:
-        """Integrate energy up to *now* (call once at end of simulation)."""
+        """Integrate energy up to *now* (safe to call at any cycle).
+
+        Transition starts pre-bill energy up to the phase start, which can
+        sit a few cycles in the future when a flit is mid-wire; a finalize
+        landing inside that pre-billed span (e.g. a series-window close
+        during a DVS transition) is a no-op rather than an error.
+        """
+        if now < self._last_energy_cycle:
+            return
         self._accrue_energy(now)
 
     def average_power_w(self, now: int) -> float:

@@ -7,6 +7,13 @@ baseline and the reported rows/series), at a configurable scale
 each one in a pytest-benchmark target.
 """
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_backend,
+    make_backend,
+)
 from .runner import build_simulator, run_simulation
 from .scales import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale, get_scale
 from .sweep import SweepPoint, compare_policies, rate_sweep, zero_load_latency
@@ -16,6 +23,11 @@ from .serialization import to_json, write_json
 __all__ = [
     "build_simulator",
     "run_simulation",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "default_backend",
     "ExperimentScale",
     "SMOKE_SCALE",
     "DEFAULT_SCALE",

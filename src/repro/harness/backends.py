@@ -1,0 +1,118 @@
+"""Unified execution backends for batches of simulations.
+
+Every sweep in the harness reduces to the same shape of work: a list of
+(picklable, frozen) :class:`~repro.config.SimulationConfig` objects, each
+run through :func:`~repro.harness.runner.run_simulation`, results wanted
+in input order. An :class:`ExecutionBackend` owns exactly that mapping;
+:mod:`repro.harness.sweep` and :mod:`repro.harness.parallel` both build
+their points on top of it instead of each carrying its own execution
+logic.
+
+Determinism: a simulation is fully described by its config, so
+:class:`SerialBackend` and :class:`ProcessPoolBackend` produce
+bit-identical result lists — the backend choice is purely a wall-clock
+decision. Set the ``REPRO_PROCESSES`` environment variable to make every
+backend-unaware sweep (including all of
+:mod:`repro.harness.experiments`) fan out transparently.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..network.simulator import SimulationResult
+from .runner import run_simulation
+
+
+class ExecutionBackend:
+    """Maps a batch of simulation configs to results, preserving order."""
+
+    def map_configs(
+        self, configs: Iterable[SimulationConfig]
+    ) -> list[SimulationResult]:
+        """Run every config and return the results in input order."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs the batch in-process, one simulation at a time."""
+
+    def map_configs(
+        self, configs: Iterable[SimulationConfig]
+    ) -> list[SimulationResult]:
+        return [run_simulation(config) for config in configs]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans the batch out over a :class:`ProcessPoolExecutor`.
+
+    ``chunksize`` controls how many configs each worker receives per IPC
+    round-trip; the default sizes chunks so each worker sees ~4 of them
+    over the batch, amortizing pickling without starving the pool on
+    unevenly sized simulations. A single-process pool degenerates to the
+    serial path (no pool spawn).
+    """
+
+    def __init__(self, processes: int = 4, *, chunksize: int | None = None):
+        if processes < 1:
+            raise ExperimentError("need at least one process")
+        if chunksize is not None and chunksize < 1:
+            raise ExperimentError("chunksize must be positive")
+        self.processes = processes
+        self.chunksize = chunksize
+
+    def map_configs(
+        self, configs: Iterable[SimulationConfig]
+    ) -> list[SimulationResult]:
+        configs = list(configs)
+        if not configs:
+            return []
+        if self.processes == 1:
+            return [run_simulation(config) for config in configs]
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, len(configs) // (self.processes * 4))
+        with ProcessPoolExecutor(max_workers=self.processes) as pool:
+            return list(pool.map(run_simulation, configs, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessPoolBackend(processes={self.processes}, "
+            f"chunksize={self.chunksize})"
+        )
+
+
+def make_backend(
+    processes: int | None = None, *, chunksize: int | None = None
+) -> ExecutionBackend:
+    """Backend for *processes* workers (``None``/``0``/``1`` = serial)."""
+    if processes is not None and processes < 0:
+        raise ExperimentError("process count cannot be negative")
+    if not processes or processes == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(processes, chunksize=chunksize)
+
+
+def default_backend() -> ExecutionBackend:
+    """The backend selected by the ``REPRO_PROCESSES`` environment variable.
+
+    Unset, empty, or ``1`` means serial — the safe default for tests and
+    nested pools. Invalid values raise rather than silently serializing.
+    """
+    raw = os.environ.get("REPRO_PROCESSES", "").strip()
+    if not raw:
+        return SerialBackend()
+    try:
+        processes = int(raw)
+    except ValueError as exc:
+        raise ExperimentError(
+            f"REPRO_PROCESSES must be an integer, got {raw!r}"
+        ) from exc
+    return make_backend(processes)

@@ -152,8 +152,12 @@ def fig5_buffer_age_profile(
 # ---------------------------------------------------------------------------
 
 
-def fig7_router_power_distribution() -> FigureResult:
-    """Figure 7: links dominate router power (82.4% at the paper's anchors)."""
+def fig7_router_power_distribution(scale=None) -> FigureResult:
+    """Figure 7: links dominate router power (82.4% at the paper's anchors).
+
+    The breakdown is an analytical property of the router power profile,
+    so *scale* is accepted for CLI uniformity but has no effect.
+    """
     profile = RouterPowerProfile()
     fractions = profile.breakdown_fractions()
     watts = profile.breakdown_w()

@@ -4,7 +4,9 @@ Rate sweeps and policy comparisons are embarrassingly parallel — every
 point is an independent simulation — and the pure-Python simulator is
 single-core, so a process pool cuts wall-clock nearly linearly. This
 module mirrors :mod:`repro.harness.sweep`'s interface with a
-``processes`` knob.
+``processes`` knob; since the backend unification both modules share the
+same :class:`~repro.harness.backends.ExecutionBackend` machinery, so
+these wrappers only translate the knob into a backend.
 
 Determinism: each point is fully described by its (picklable, frozen)
 :class:`~repro.config.SimulationConfig`, so parallel results are
@@ -13,29 +15,24 @@ bit-identical to serial ones, point for point.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
-from .runner import run_simulation
-from .sweep import SweepPoint
-
-
-def _run_point(item: tuple[str, float, SimulationConfig]):
-    """Module-level worker (must be picklable)."""
-    name, rate, config = item
-    result = run_simulation(config)
-    return name, rate, SweepPoint.from_result(rate, result)
+from .backends import make_backend
+from .sweep import SweepPoint, compare_policies, rate_sweep
 
 
 def parallel_rate_sweep(
-    base_config: SimulationConfig, rates, *, processes: int = 4
+    base_config: SimulationConfig,
+    rates,
+    *,
+    processes: int = 4,
+    chunksize: int | None = None,
 ) -> list[SweepPoint]:
     """:func:`repro.harness.sweep.rate_sweep`, across processes."""
-    sweeps = parallel_compare_policies(
-        base_config, rates, {"_": base_config.dvs}, processes=processes
-    )
-    return sweeps["_"]
+    if processes < 1:
+        raise ExperimentError("need at least one process")
+    backend = make_backend(processes, chunksize=chunksize)
+    return rate_sweep(base_config, rates, backend=backend)
 
 
 def parallel_compare_policies(
@@ -44,26 +41,12 @@ def parallel_compare_policies(
     policies: dict[str, DVSControlConfig],
     *,
     processes: int = 4,
+    chunksize: int | None = None,
 ) -> dict[str, list[SweepPoint]]:
     """:func:`repro.harness.sweep.compare_policies`, across processes."""
     if processes < 1:
         raise ExperimentError("need at least one process")
     if not policies:
         raise ExperimentError("need at least one policy")
-    rates = list(rates)
-    work = [
-        (name, rate, base_config.with_dvs(dvs).with_rate(rate))
-        for name, dvs in policies.items()
-        for rate in rates
-    ]
-    if processes == 1:
-        finished = [_run_point(item) for item in work]
-    else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            finished = list(pool.map(_run_point, work))
-    sweeps: dict[str, dict[float, SweepPoint]] = {name: {} for name in policies}
-    for name, rate, point in finished:
-        sweeps[name][rate] = point
-    return {
-        name: [points[rate] for rate in rates] for name, points in sweeps.items()
-    }
+    backend = make_backend(processes, chunksize=chunksize)
+    return compare_policies(base_config, rates, policies, backend=backend)

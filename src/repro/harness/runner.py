@@ -1,22 +1,46 @@
-"""Thin construction/run helpers around the simulator."""
+"""Thin construction/run helpers around the simulator.
+
+This is the single-simulation primitive the execution backends
+(:mod:`repro.harness.backends`) map over, and the place where extra
+instrumentation observers get attached to the simulator's bus before the
+run starts.
+"""
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..config import SimulationConfig
+from ..instrument.bus import Observer
 from ..network.simulator import SimulationResult, Simulator
 
 
 def build_simulator(
-    config: SimulationConfig, *, traffic=None, series_window: int = 0
+    config: SimulationConfig,
+    *,
+    traffic=None,
+    series_window: int = 0,
+    observers: Iterable[Observer] = (),
 ) -> Simulator:
-    """Construct a fully wired simulator for *config*."""
-    return Simulator(config, traffic=traffic, series_window=series_window)
+    """Construct a fully wired simulator for *config*.
+
+    Any *observers* are attached to the simulator's instrumentation bus
+    (e.g. a :class:`~repro.instrument.trace.TraceRecorder`).
+    """
+    simulator = Simulator(config, traffic=traffic, series_window=series_window)
+    for observer in observers:
+        simulator.bus.attach(observer)
+    return simulator
 
 
 def run_simulation(
-    config: SimulationConfig, *, traffic=None, series_window: int = 0
+    config: SimulationConfig,
+    *,
+    traffic=None,
+    series_window: int = 0,
+    observers: Iterable[Observer] = (),
 ) -> SimulationResult:
     """Build, warm up, measure, and summarize one simulation."""
     return build_simulator(
-        config, traffic=traffic, series_window=series_window
+        config, traffic=traffic, series_window=series_window, observers=observers
     ).run()

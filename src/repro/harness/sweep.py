@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
 from ..metrics.throughput import saturation_point
+from .backends import ExecutionBackend, default_backend
 from .runner import run_simulation
 
 
@@ -44,26 +45,56 @@ class SweepPoint:
         )
 
 
-def rate_sweep(base_config: SimulationConfig, rates) -> list[SweepPoint]:
-    """Run *base_config* at each offered rate in *rates*."""
-    points = []
-    for rate in rates:
-        result = run_simulation(base_config.with_rate(rate))
-        points.append(SweepPoint.from_result(rate, result))
-    return points
+def rate_sweep(
+    base_config: SimulationConfig,
+    rates,
+    *,
+    backend: ExecutionBackend | None = None,
+) -> list[SweepPoint]:
+    """Run *base_config* at each offered rate in *rates*.
+
+    Execution goes through *backend*
+    (:func:`~repro.harness.backends.default_backend` when omitted, which
+    honors ``REPRO_PROCESSES``); results are identical regardless of the
+    backend chosen.
+    """
+    if backend is None:
+        backend = default_backend()
+    rates = list(rates)
+    results = backend.map_configs(base_config.with_rate(rate) for rate in rates)
+    return [
+        SweepPoint.from_result(rate, result)
+        for rate, result in zip(rates, results)
+    ]
 
 
 def compare_policies(
     base_config: SimulationConfig,
     rates,
     policies: dict[str, DVSControlConfig],
+    *,
+    backend: ExecutionBackend | None = None,
 ) -> dict[str, list[SweepPoint]]:
-    """Sweep the same rates (same workload seeds) under several policies."""
+    """Sweep the same rates (same workload seeds) under several policies.
+
+    All policy sweeps are submitted to *backend* as one flat batch, so a
+    process pool sees ``len(policies) * len(rates)`` independent work
+    items rather than one batch per policy.
+    """
     if not policies:
         raise ExperimentError("need at least one policy to compare")
+    if backend is None:
+        backend = default_backend()
+    rates = list(rates)
+    results = backend.map_configs(
+        base_config.with_dvs(dvs).with_rate(rate)
+        for dvs in policies.values()
+        for rate in rates
+    )
+    per_policy = iter(results)
     return {
-        name: rate_sweep(base_config.with_dvs(dvs), rates)
-        for name, dvs in policies.items()
+        name: [SweepPoint.from_result(rate, next(per_policy)) for rate in rates]
+        for name in policies
     }
 
 

@@ -1,0 +1,176 @@
+"""The instrumentation bus: observer protocol and dispatch lists.
+
+The cycle kernel (:class:`~repro.network.engine.SimulationEngine`) is pure
+simulation — topology, event buckets, the per-cycle step — and knows
+nothing about measurement. Every observable quantity (latency samples,
+power accounting, windowed time series, utilization profiles, event
+traces) is collected by *observers* attached to an :class:`InstrumentBus`.
+
+An observer subclasses :class:`Observer` and overrides any subset of the
+hook methods; the bus sorts each observer into per-hook dispatch lists at
+attach time, so the kernel pays nothing for hooks nobody subscribed to.
+The hook points, in the order they fire within one cycle:
+
+``on_transition``
+    A DVS channel crossed a state-machine boundary: a voltage ramp
+    started (``kind="ramp_start"`` — exactly what the power accountant
+    counts as a transition) or a scheduled phase ended
+    (``kind="phase_end"``: ramp settled or frequency re-locked).
+``on_packet_offered``
+    A packet entered a source queue this cycle.
+``on_window_close``
+    Fires when ``now`` is a multiple of the observer's ``window_cycles``
+    (which must be positive for this hook to be registered).
+``on_cycle``
+    Once per cycle, after events, injection and window bookkeeping, just
+    before the routers step.
+``on_packet_ejected``
+    A packet's tail flit left the network (fires inside the router step).
+
+Observers may also override ``on_mark`` to receive out-of-band lifecycle
+marks (e.g. ``measurement_begin``) emitted by the harness via
+:meth:`InstrumentBus.mark`; marks are driven by the measurement layer,
+never by the kernel itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
+    from ..network.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionEvent:
+    """One DVS channel state-machine boundary, as seen by the kernel.
+
+    Attributes:
+        cycle: Router cycle the boundary was processed at.
+        channel: Topology channel id of the affected channel.
+        kind: ``"ramp_start"`` when a voltage ramp (a counted transition)
+            began, ``"phase_end"`` when a scheduled phase boundary fired.
+        phase: The channel's phase *after* the boundary.
+        level: Frequency level in effect after the boundary.
+        voltage_level: Voltage level in effect after the boundary.
+        target_level: Level the channel is heading toward.
+    """
+
+    cycle: int
+    channel: int
+    kind: str
+    phase: str
+    level: int
+    voltage_level: int
+    target_level: int
+
+
+class Observer:
+    """Base instrumentation observer; override any subset of the hooks.
+
+    Set :attr:`window_cycles` to a positive window size (and override
+    :meth:`on_window_close`) to be called back at window boundaries.
+    """
+
+    #: Window size in router cycles for :meth:`on_window_close`; 0 = none.
+    window_cycles: int = 0
+
+    def on_cycle(self, now: int) -> None:
+        """Called once per cycle, before the routers step."""
+
+    def on_packet_offered(self, packet: "Packet", now: int) -> None:
+        """Called when *packet* enters its source queue."""
+
+    def on_packet_ejected(self, packet: "Packet", now: int) -> None:
+        """Called when *packet*'s tail flit is ejected at its destination."""
+
+    def on_window_close(self, now: int) -> None:
+        """Called when ``now % window_cycles == 0`` (and ``now > 0``)."""
+
+    def on_transition(self, event: TransitionEvent) -> None:
+        """Called at DVS channel state-machine boundaries."""
+
+    def on_mark(self, label: str, cycle: int) -> None:
+        """Called for out-of-band lifecycle marks from the harness."""
+
+
+#: Hook name -> dispatch-list attribute on the bus.
+_HOOKS = {
+    "on_cycle": "cycle_hooks",
+    "on_packet_offered": "offered_hooks",
+    "on_packet_ejected": "ejected_hooks",
+    "on_window_close": "window_hooks",
+    "on_transition": "transition_hooks",
+    "on_mark": "mark_hooks",
+}
+
+
+def _overrides(observer, hook: str) -> bool:
+    method = getattr(type(observer), hook, None)
+    return method is not None and method is not getattr(Observer, hook)
+
+
+class InstrumentBus:
+    """Per-hook observer dispatch lists for one simulation.
+
+    The kernel reads the list attributes directly in its hot loop; an
+    empty list costs one attribute load and a falsy check per cycle.
+    """
+
+    __slots__ = (
+        "observers",
+        "cycle_hooks",
+        "offered_hooks",
+        "ejected_hooks",
+        "window_hooks",
+        "transition_hooks",
+        "mark_hooks",
+    )
+
+    def __init__(self):
+        self.observers: list[Observer] = []
+        self.cycle_hooks: list[Observer] = []
+        self.offered_hooks: list[Observer] = []
+        self.ejected_hooks: list[Observer] = []
+        self.window_hooks: list[Observer] = []
+        self.transition_hooks: list[Observer] = []
+        self.mark_hooks: list[Observer] = []
+
+    def attach(self, observer: Observer) -> Observer:
+        """Register *observer* on every hook it overrides; returns it."""
+        if observer in self.observers:
+            raise ConfigError("observer is already attached")
+        for hook, attr in _HOOKS.items():
+            if not _overrides(observer, hook):
+                continue
+            if hook == "on_window_close":
+                window = getattr(observer, "window_cycles", 0)
+                if not isinstance(window, int) or window <= 0:
+                    raise ConfigError(
+                        "a window observer needs a positive integer "
+                        f"window_cycles, got {window!r}"
+                    )
+            getattr(self, attr).append(observer)
+        self.observers.append(observer)
+        return observer
+
+    def detach(self, observer: Observer) -> None:
+        """Remove *observer* from every dispatch list."""
+        if observer not in self.observers:
+            raise ConfigError("observer is not attached")
+        self.observers.remove(observer)
+        for attr in _HOOKS.values():
+            hooks = getattr(self, attr)
+            if observer in hooks:
+                hooks.remove(observer)
+
+    def mark(self, label: str, cycle: int) -> None:
+        """Broadcast a lifecycle mark (e.g. ``measurement_begin``)."""
+        for observer in self.mark_hooks:
+            observer.on_mark(label, cycle)
+
+    def __len__(self) -> int:
+        return len(self.observers)

@@ -1,0 +1,101 @@
+"""Structured event-trace recorder (JSONL).
+
+Proof of the kernel/instrumentation seam: a new observable — a structured
+log of every DVS state-machine boundary plus harness lifecycle marks —
+added without touching :class:`~repro.network.engine.SimulationEngine`.
+Attach it through the public API::
+
+    simulator = Simulator(config)
+    recorder = simulator.bus.attach(TraceRecorder("run.jsonl"))
+    simulator.run()
+    recorder.close()
+
+or from the shell: ``python -m repro run --trace run.jsonl``.
+
+Each line is one JSON object. ``{"event": "transition", "kind":
+"ramp_start", ...}`` records a voltage ramp beginning (exactly the
+transitions the power accountant counts); ``"kind": "phase_end"`` records
+a ramp settling or a frequency re-lock completing; ``{"event": "mark"}``
+records measurement-phase boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigError
+from .bus import Observer, TransitionEvent
+
+
+class TraceRecorder(Observer):
+    """Logs DVS transitions and lifecycle marks to JSONL (or memory).
+
+    With ``path=None`` the records are only kept in :attr:`records`,
+    which is handy for tests and interactive use; with a path they are
+    additionally written one JSON object per line on :meth:`close` (or
+    when leaving a ``with`` block).
+    """
+
+    __slots__ = ("path", "records", "_closed")
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and not self.path.parent.is_dir():
+            # Fail before the simulation runs, not at close() afterwards.
+            raise ConfigError(
+                f"trace directory does not exist: {self.path.parent}"
+            )
+        self.records: list[dict] = []
+        self._closed = False
+
+    # -- bus hooks -------------------------------------------------------
+
+    def on_transition(self, event: TransitionEvent) -> None:
+        self.records.append(
+            {
+                "event": "transition",
+                "kind": event.kind,
+                "cycle": event.cycle,
+                "channel": event.channel,
+                "phase": event.phase,
+                "level": event.level,
+                "voltage_level": event.voltage_level,
+                "target_level": event.target_level,
+            }
+        )
+
+    def on_mark(self, label: str, cycle: int) -> None:
+        self.records.append({"event": "mark", "label": label, "cycle": cycle})
+
+    # -- convenience -----------------------------------------------------
+
+    def ramp_starts(self) -> list[dict]:
+        """The recorded voltage-ramp starts (the accountant's transitions)."""
+        return [r for r in self.records if r.get("kind") == "ramp_start"]
+
+    def close(self) -> None:
+        """Write the JSONL file (if a path was given); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.path is None:
+            return
+        with self.path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record) + "\n")
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Load a JSONL trace back into a list of records."""
+        records = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+        return records

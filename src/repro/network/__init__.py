@@ -16,6 +16,7 @@ from .routing import (
     make_routing,
 )
 from .channel import NetworkChannel
+from .engine import SimulationEngine
 from .simulator import Simulator, SimulationResult
 from .stats import NetworkSnapshot, snapshot
 
@@ -31,6 +32,7 @@ __all__ = [
     "MinimalAdaptiveRouting",
     "make_routing",
     "NetworkChannel",
+    "SimulationEngine",
     "Simulator",
     "SimulationResult",
 ]

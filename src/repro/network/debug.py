@@ -14,22 +14,23 @@ simulations, turning the whole simulator into a property under test.
 from __future__ import annotations
 
 from ..core.dvs_link import ChannelPhase
-from .router import EVENT_ARRIVAL, EVENT_CREDIT
-from .simulator import Simulator
+from .engine import SimulationEngine
+from .router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE
 from .vc import UNROUTED
 
 
-def audit(simulator: Simulator) -> list[str]:
+def audit(simulator: SimulationEngine) -> list[str]:
     """Return all invariant violations found in *simulator*'s state."""
     violations: list[str] = []
     violations.extend(_audit_occupancy(simulator))
     violations.extend(_audit_credits(simulator))
     violations.extend(_audit_vc_state(simulator))
     violations.extend(_audit_channels(simulator))
+    violations.extend(_audit_event_counters(simulator))
     return violations
 
 
-def _in_flight(simulator: Simulator):
+def _in_flight(simulator: SimulationEngine):
     """(arrivals, credits) keyed by their destination coordinates."""
     arrivals: dict[tuple[int, int, int], int] = {}
     credits: dict[tuple[int, int, int], int] = {}
@@ -44,7 +45,7 @@ def _in_flight(simulator: Simulator):
     return arrivals, credits
 
 
-def _audit_occupancy(simulator: Simulator) -> list[str]:
+def _audit_occupancy(simulator: SimulationEngine) -> list[str]:
     violations = []
     for router in simulator.routers:
         for port, tracker in enumerate(router.occupancy):
@@ -67,7 +68,7 @@ def _audit_occupancy(simulator: Simulator) -> list[str]:
     return violations
 
 
-def _audit_credits(simulator: Simulator) -> list[str]:
+def _audit_credits(simulator: SimulationEngine) -> list[str]:
     """credits + downstream occupancy + in-flight flits + in-flight credits
     must equal the buffer capacity, per (channel, VC)."""
     violations = []
@@ -92,7 +93,7 @@ def _audit_credits(simulator: Simulator) -> list[str]:
     return violations
 
 
-def _audit_vc_state(simulator: Simulator) -> list[str]:
+def _audit_vc_state(simulator: SimulationEngine) -> list[str]:
     violations = []
     for router in simulator.routers:
         for port_vcs in router.in_vcs:
@@ -112,7 +113,7 @@ def _audit_vc_state(simulator: Simulator) -> list[str]:
     return violations
 
 
-def _audit_channels(simulator: Simulator) -> list[str]:
+def _audit_channels(simulator: SimulationEngine) -> list[str]:
     violations = []
     for channel in simulator.channels:
         dvs = channel.dvs
@@ -125,4 +126,27 @@ def _audit_channels(simulator: Simulator) -> list[str]:
             )
         if dvs.locked != (dvs.phase is ChannelPhase.FREQUENCY_LOCK):
             violations.append(f"{channel!r}: locked flag out of sync with phase")
+    return violations
+
+
+def _audit_event_counters(simulator: SimulationEngine) -> list[str]:
+    """The O(1) drain counters must agree with a full event-queue scan."""
+    violations = []
+    transport = arrivals = 0
+    for bucket in simulator._events.values():
+        for event in bucket:
+            if event[0] != EVENT_PHASE:
+                transport += 1
+                if event[0] == EVENT_ARRIVAL:
+                    arrivals += 1
+    if simulator._pending_transport != transport:
+        violations.append(
+            f"pending-transport counter {simulator._pending_transport} != "
+            f"scanned {transport}"
+        )
+    if simulator._pending_arrivals != arrivals:
+        violations.append(
+            f"pending-arrival counter {simulator._pending_arrivals} != "
+            f"scanned {arrivals}"
+        )
     return violations

@@ -1,0 +1,307 @@
+"""The pure cycle kernel.
+
+:class:`SimulationEngine` owns exactly three things: topology construction
+(routers, DVS channels, per-port controllers, traffic), the event bucket
+map, and the per-cycle step. It holds **no measurement state** — every
+observable (latency, power, series, profiles, traces) attaches through the
+:class:`~repro.instrument.bus.InstrumentBus` passed at construction, and
+the measurement-phase facade lives in
+:class:`~repro.network.simulator.Simulator`.
+
+Time base: the router clock (1 cycle = 1 ns at the paper's 1 GHz). Each
+cycle the kernel
+
+1. dispatches scheduled events — flit arrivals into input buffers, credit
+   returns, DVS channel phase boundaries (emitting ``on_transition`` bus
+   events at the boundaries);
+2. polls the traffic source and enqueues new packets in source queues
+   (emitting ``on_packet_offered``);
+3. closes DVS history windows when due (every H cycles) and runs the
+   per-port controllers; schedules any transition phase boundaries they
+   start;
+4. dispatches ``on_window_close`` to windowed observers and ``on_cycle``
+   to per-cycle observers;
+5. steps every non-idle router (ejection, routing/VC allocation, switch
+   allocation, injection); tail-flit ejections reach observers through
+   ``on_packet_ejected``.
+
+Events live in a bucket map keyed by cycle, which outperforms a heap when
+almost every future cycle holds events. The kernel additionally maintains
+outstanding-event counters (transport events and arrivals specifically),
+updated at schedule/dispatch, so drain-progress checks are O(1) instead of
+walking every pending bucket. Inter-router flit traversal is "emulated
+with message passing" exactly as in the paper: a launched flit becomes an
+arrival event ``pipeline latency + serialization`` cycles later, so slow
+links lengthen hops and throttle bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..config import DVSControlConfig, SimulationConfig
+from ..core.controller import PortDVSController
+from ..core.dvs_link import DVSChannel
+from ..core.policy import (
+    AdaptiveThresholdPolicy,
+    DVSPolicy,
+    HistoryDVSPolicy,
+    LinkUtilizationOnlyPolicy,
+    StaticLevelPolicy,
+)
+from ..errors import ConfigError, SimulationError
+from ..instrument.bus import InstrumentBus, TransitionEvent
+from .channel import NetworkChannel
+from .packet import Packet
+from .router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE, Router
+from .routing import make_routing
+from .topology import Topology
+
+
+def _build_policy(dvs: DVSControlConfig) -> DVSPolicy:
+    if dvs.policy == "history":
+        return HistoryDVSPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    if dvs.policy == "static":
+        return StaticLevelPolicy(dvs.static_level)
+    if dvs.policy == "lu_only":
+        return LinkUtilizationOnlyPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    if dvs.policy == "adaptive_threshold":
+        return AdaptiveThresholdPolicy(dvs.thresholds, weight=dvs.ewma_weight)
+    raise ConfigError(f"no policy object for {dvs.policy!r}")
+
+
+class SimulationEngine:
+    """One fully wired network: the simulated hardware, nothing else."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        traffic=None,
+        bus: InstrumentBus | None = None,
+    ):
+        self.config = config
+        self.bus = bus if bus is not None else InstrumentBus()
+        net = config.network
+        link = config.link
+
+        self.topology = Topology(net.radix, net.dimensions, wraparound=net.wraparound)
+        self.routing = make_routing(net.routing, self.topology, net.vcs_per_port)
+
+        table = link.build_table()
+        power_model = link.build_power_model()
+        regulator = link.build_regulator()
+        timing = link.build_timing()
+
+        self._events: dict[int, list[tuple]] = {}
+        self.now = 0
+        # Outstanding-event counters, maintained at schedule/dispatch so
+        # drain checks never walk the bucket map.
+        self._pending_transport = 0
+        self._pending_arrivals = 0
+
+        self.routers = [
+            Router(
+                node,
+                self.topology,
+                self.routing,
+                vcs_per_port=net.vcs_per_port,
+                buffers_per_vc=net.buffers_per_vc,
+                credit_delay=net.credit_delay,
+                schedule=self.schedule,
+                packet_sink=self._on_packet_ejected,
+            )
+            for node in range(self.topology.node_count)
+        ]
+
+        if config.dvs.enabled and config.dvs.initial_level is not None:
+            initial_level = config.dvs.initial_level
+        else:
+            initial_level = table.max_level
+
+        self.channels: list[NetworkChannel] = []
+        for spec in self.topology.channels:
+            dvs_channel = DVSChannel(
+                table,
+                power_model,
+                regulator,
+                lanes=link.lanes,
+                router_clock_hz=net.router_clock_hz,
+                timing=timing,
+                initial_level=initial_level,
+            )
+            channel = NetworkChannel(spec, dvs_channel, net.pipeline_latency)
+            self.routers[spec.src_node].attach_channel(
+                spec.src_port, channel, net.buffers_per_vc
+            )
+            self.channels.append(channel)
+        #: DVS channel -> topology channel id, for transition events.
+        self._channel_ids = {
+            id(channel.dvs): channel.spec.channel_id for channel in self.channels
+        }
+
+        self.controllers: list[PortDVSController] = []
+        if config.dvs.enabled:
+            for channel in self.channels:
+                spec = channel.spec
+                tracker = self.routers[spec.dst_node].occupancy[spec.dst_port]
+                if tracker is None:
+                    raise SimulationError("network input port lacks a tracker")
+                self.controllers.append(
+                    PortDVSController(
+                        channel.dvs,
+                        _build_policy(config.dvs),
+                        tracker,
+                        window_cycles=config.dvs.history_window,
+                        buffer_capacity=net.buffers_per_port,
+                    )
+                )
+
+        if traffic is None:
+            from ..traffic.base import make_traffic
+
+            traffic = make_traffic(self.topology, config.workload)
+        self.traffic = traffic
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def schedule(self, cycle: int, event: tuple) -> None:
+        """Queue *event* for dispatch at *cycle* (must be in the future)."""
+        kind = event[0]
+        if kind != EVENT_PHASE:
+            self._pending_transport += 1
+            if kind == EVENT_ARRIVAL:
+                self._pending_arrivals += 1
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [event]
+        else:
+            bucket.append(event)
+
+    def _on_packet_ejected(self, packet: Packet, now: int) -> None:
+        for observer in self.bus.ejected_hooks:
+            observer.on_packet_ejected(packet, now)
+
+    def _emit_transition(self, channel: DVSChannel, now: int, kind: str) -> None:
+        event = TransitionEvent(
+            cycle=now,
+            channel=self._channel_ids[id(channel)],
+            kind=kind,
+            phase=channel.phase.value,
+            level=channel.level,
+            voltage_level=channel.voltage_level,
+            target_level=channel.target_level,
+        )
+        for observer in self.bus.transition_hooks:
+            observer.on_transition(event)
+
+    # ------------------------------------------------------------------
+    # The cycle loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one router cycle."""
+        now = self.now
+        routers = self.routers
+        bus = self.bus
+        transition_hooks = bus.transition_hooks
+
+        events = self._events.pop(now, None)
+        if events:
+            for event in events:
+                kind = event[0]
+                if kind == EVENT_ARRIVAL:
+                    self._pending_transport -= 1
+                    self._pending_arrivals -= 1
+                    routers[event[1]].on_arrival(event[2], event[3], event[4], now)
+                elif kind == EVENT_CREDIT:
+                    self._pending_transport -= 1
+                    routers[event[1]].on_credit(event[2], event[3], event[4])
+                else:  # EVENT_PHASE
+                    channel = event[1]
+                    ramps_before = channel.transition_count
+                    next_cycle = channel.on_phase_end(now)
+                    if next_cycle is not None:
+                        self.schedule(next_cycle, (EVENT_PHASE, channel))
+                    if transition_hooks:
+                        self._emit_transition(channel, now, "phase_end")
+                        if channel.transition_count > ramps_before:
+                            self._emit_transition(channel, now, "ramp_start")
+
+        pairs = self.traffic.injections(now)
+        if pairs:
+            flits_per_packet = self.config.network.flits_per_packet
+            offered_hooks = bus.offered_hooks
+            for src, dst in pairs:
+                packet = Packet(src, dst, flits_per_packet, now)
+                routers[src].offer_packet(packet)
+                if offered_hooks:
+                    for observer in offered_hooks:
+                        observer.on_packet_offered(packet, now)
+
+        if now:
+            if self.controllers and now % self.config.dvs.history_window == 0:
+                for controller in self.controllers:
+                    channel = controller.channel
+                    pending_before = channel.pending_event_cycle
+                    ramps_before = channel.transition_count
+                    controller.close_window(now)
+                    pending_after = channel.pending_event_cycle
+                    if pending_after is not None and pending_after != pending_before:
+                        self.schedule(pending_after, (EVENT_PHASE, channel))
+                    if transition_hooks and channel.transition_count > ramps_before:
+                        self._emit_transition(channel, now, "ramp_start")
+            window_hooks = bus.window_hooks
+            if window_hooks:
+                for observer in window_hooks:
+                    if now % observer.window_cycles == 0:
+                        observer.on_window_close(now)
+
+        cycle_hooks = bus.cycle_hooks
+        if cycle_hooks:
+            for observer in cycle_hooks:
+                observer.on_cycle(now)
+
+        for router in routers:
+            if router.total_buffered or router.inj_flits or router.inj_queue:
+                router.step(now)
+
+        self.now = now + 1
+
+    def run_cycles(self, cycles: int) -> None:
+        """Run *cycles* more cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Drain diagnostics
+    # ------------------------------------------------------------------
+
+    def flits_in_network(self) -> int:
+        """Flits buffered in routers plus flits in flight on the wires."""
+        buffered = sum(router.total_buffered for router in self.routers)
+        return buffered + self._pending_arrivals
+
+    def pending_source_packets(self) -> int:
+        """Packets waiting in source queues (plus partially injected ones)."""
+        queued = sum(len(router.inj_queue) for router in self.routers)
+        partial = sum(1 for router in self.routers if router.inj_flits)
+        return queued + partial
+
+    def drain(self, max_cycles: int = 100_000) -> int:
+        """Run with traffic as-is until the network empties; returns cycles.
+
+        Intended for conservation tests: callers typically swap in an
+        exhausted traffic source first. Raises if the network fails to
+        drain within *max_cycles* (a deadlock or livelock).
+        """
+        for elapsed in range(max_cycles):
+            if (
+                self._pending_transport == 0
+                and self.traffic.pending_injections() == 0
+                and self.flits_in_network() == 0
+                and self.pending_source_packets() == 0
+            ):
+                return elapsed
+            self.step()
+        raise SimulationError(f"network failed to drain within {max_cycles} cycles")

@@ -14,11 +14,21 @@ router in the style of the Alpha 21364's integrated router, with
   ejection-bandwidth artifacts, per the paper's latency definition).
 
 The router communicates with the rest of the network only through the
-simulator's event queue: launched flits become ARRIVAL events at the
+kernel's event queue: launched flits become ARRIVAL events at the
 downstream router, dequeued flits become CREDIT events at the upstream
-router. The per-cycle :meth:`step` is the simulator's hot path and favors
+router. The per-cycle :meth:`step` is the kernel's hot path and favors
 flat data structures over abstraction; invariants are still enforced by
 the flow-control primitives it calls.
+
+Two callback seams connect the router to the layers above it without the
+router knowing they exist (see ``docs/architecture.md``):
+
+* ``packet_sink`` — invoked with ``(packet, now)`` when a tail flit is
+  ejected at its destination. The cycle kernel passes its instrumentation
+  dispatcher here, which fans out to every ``on_packet_ejected`` observer.
+* ``age_hooks`` — per-input-port lists of ``hook(age_cycles)`` callables
+  fired on every dequeue; utilization probes tap buffer-age distributions
+  (paper Figure 5) through these.
 """
 
 from __future__ import annotations
@@ -35,12 +45,14 @@ from .routing import RoutingFunction
 from .topology import Topology
 from .vc import UNROUTED, InputVC
 
-#: Event kinds understood by the simulator's dispatch loop.
+#: Event kinds understood by the kernel's dispatch loop.
 EVENT_ARRIVAL = 0
 EVENT_CREDIT = 1
 EVENT_PHASE = 2
 
 ScheduleFn = Callable[[int, tuple], None]
+#: The kernel-facing ejection seam: called with (packet, now) on tail eject.
+PacketSink = Callable[[Packet, int], None]
 
 
 class Router:
@@ -83,7 +95,7 @@ class Router:
         buffers_per_vc: int,
         credit_delay: int,
         schedule: ScheduleFn,
-        packet_sink: Callable[[Packet, int], None],
+        packet_sink: PacketSink,
     ):
         self.node = node
         self.local_port = topology.local_port

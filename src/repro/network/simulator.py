@@ -1,53 +1,48 @@
-"""The cycle-driven network simulator.
+"""The measurement-phase facade over the cycle kernel.
 
-Assembles topology, routers, DVS channels, per-port DVS controllers,
-traffic and measurement into one simulation object (the Python counterpart
-of the paper's C++ simulator, Section 4.1).
+:class:`Simulator` is the Python counterpart of the paper's C++ simulator
+(Section 4.1): warm up, measure, summarize. Since the kernel split it is a
+thin facade — the simulated hardware (topology, routers, DVS channels,
+controllers, traffic, the event loop) lives in
+:class:`~repro.network.engine.SimulationEngine`, and every measured
+quantity is an observer on the engine's
+:class:`~repro.instrument.bus.InstrumentBus`:
 
-Time base: the router clock (1 cycle = 1 ns at the paper's 1 GHz). Each
-cycle the simulator
+* a :class:`~repro.instrument.observers.MeasurementMeter` for offered /
+  ejected counts and packet latencies,
+* a :class:`~repro.instrument.observers.PowerObserver` wrapping the
+  :class:`~repro.power.accounting.PowerAccountant`,
+* an optional :class:`~repro.instrument.observers.SeriesObserver` when a
+  ``series_window`` is requested,
+* one :class:`~repro.instrument.observers.ProbeObserver` per profiling
+  probe added through :meth:`Simulator.attach_probe`.
 
-1. dispatches scheduled events — flit arrivals into input buffers, credit
-   returns, DVS channel phase boundaries;
-2. polls the traffic source and enqueues new packets in source queues;
-3. closes DVS history windows when due (every H cycles) and runs the
-   per-port controllers; schedules any transition phase boundaries they
-   start;
-4. closes profiling-probe windows and time-series windows when due;
-5. steps every non-idle router (ejection, routing/VC allocation, switch
-   allocation, injection).
-
-Events live in a bucket map keyed by cycle, which outperforms a heap when
-almost every future cycle holds events. Inter-router flit traversal is
-"emulated with message passing" exactly as in the paper: a launched flit
-becomes an arrival event ``pipeline latency + serialization`` cycles
-later, so slow links lengthen hops and throttle bandwidth.
+Extra observers (e.g. a
+:class:`~repro.instrument.trace.TraceRecorder`) attach through
+``simulator.bus`` without touching either layer. The facade preserves the
+pre-split public surface — ``simulator.latency``, ``.accountant``,
+``.series``, ``.total_ejected_packets`` and friends keep working — and its
+results are bit-identical to the monolithic simulator for a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import DVSControlConfig, SimulationConfig
-from ..core.controller import PortDVSController
-from ..core.dvs_link import DVSChannel
-from ..core.policy import (
-    AdaptiveThresholdPolicy,
-    DVSPolicy,
-    HistoryDVSPolicy,
-    LinkUtilizationOnlyPolicy,
-    StaticLevelPolicy,
-)
+from ..config import SimulationConfig
 from ..errors import ConfigError, SimulationError
+from ..instrument.bus import InstrumentBus
+from ..instrument.observers import (
+    MeasurementMeter,
+    PowerObserver,
+    ProbeObserver,
+    SeriesObserver,
+)
 from ..metrics.latency import LatencyCollector, LatencyStats
 from ..metrics.timeseries import WindowedSeries
 from ..metrics.utilization import UtilizationProbe
 from ..power.accounting import PowerAccountant, PowerReport
-from .channel import NetworkChannel
-from .packet import Packet
-from .router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE, Router
-from .routing import make_routing
-from .topology import Topology
+from .engine import SimulationEngine
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,120 +66,76 @@ class SimulationResult:
     series: dict[str, WindowedSeries] = field(default_factory=dict)
 
 
-def _build_policy(dvs: DVSControlConfig) -> DVSPolicy:
-    if dvs.policy == "history":
-        return HistoryDVSPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    if dvs.policy == "static":
-        return StaticLevelPolicy(dvs.static_level)
-    if dvs.policy == "lu_only":
-        return LinkUtilizationOnlyPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    if dvs.policy == "adaptive_threshold":
-        return AdaptiveThresholdPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    raise ConfigError(f"no policy object for {dvs.policy!r}")
+class Simulator(SimulationEngine):
+    """One fully wired network simulation with the standard measurement stack."""
 
-
-class Simulator:
-    """One fully wired network simulation."""
-
-    def __init__(self, config: SimulationConfig, *, traffic=None, series_window=0):
-        self.config = config
-        net = config.network
-        link = config.link
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        traffic=None,
+        series_window: int = 0,
+        bus: InstrumentBus | None = None,
+    ):
         if series_window < 0:
             raise ConfigError("series window cannot be negative")
+        super().__init__(config, traffic=traffic, bus=bus)
         self.series_window = series_window
 
-        self.topology = Topology(net.radix, net.dimensions, wraparound=net.wraparound)
-        self.routing = make_routing(net.routing, self.topology, net.vcs_per_port)
-
-        table = link.build_table()
-        power_model = link.build_power_model()
-        regulator = link.build_regulator()
-        timing = link.build_timing()
-
-        self._events: dict[int, list[tuple]] = {}
-        self.now = 0
-
-        self.routers = [
-            Router(
-                node,
-                self.topology,
-                self.routing,
-                vcs_per_port=net.vcs_per_port,
-                buffers_per_vc=net.buffers_per_vc,
-                credit_delay=net.credit_delay,
-                schedule=self.schedule,
-                packet_sink=self._on_packet_ejected,
-            )
-            for node in range(self.topology.node_count)
-        ]
-
-        if config.dvs.enabled and config.dvs.initial_level is not None:
-            initial_level = config.dvs.initial_level
-        else:
-            initial_level = table.max_level
-
-        self.channels: list[NetworkChannel] = []
-        for spec in self.topology.channels:
-            dvs_channel = DVSChannel(
-                table,
-                power_model,
-                regulator,
-                lanes=link.lanes,
-                router_clock_hz=net.router_clock_hz,
-                timing=timing,
-                initial_level=initial_level,
-            )
-            channel = NetworkChannel(spec, dvs_channel, net.pipeline_latency)
-            self.routers[spec.src_node].attach_channel(
-                spec.src_port, channel, net.buffers_per_vc
-            )
-            self.channels.append(channel)
-
-        self.controllers: list[PortDVSController] = []
-        if config.dvs.enabled:
-            for channel in self.channels:
-                spec = channel.spec
-                tracker = self.routers[spec.dst_node].occupancy[spec.dst_port]
-                if tracker is None:
-                    raise SimulationError("network input port lacks a tracker")
-                self.controllers.append(
-                    PortDVSController(
-                        channel.dvs,
-                        _build_policy(config.dvs),
-                        tracker,
-                        window_cycles=config.dvs.history_window,
-                        buffer_capacity=net.buffers_per_port,
-                    )
-                )
-
-        if traffic is None:
-            from ..traffic.base import make_traffic
-
-            traffic = make_traffic(self.topology, config.workload)
-        self.traffic = traffic
-
         self.accountant = PowerAccountant(
-            [channel.dvs for channel in self.channels], net.router_clock_hz
+            [channel.dvs for channel in self.channels],
+            config.network.router_clock_hz,
         )
-        self.latency = LatencyCollector()
         self.probes: list[UtilizationProbe] = []
 
-        self._measuring = False
-        self._measure_start = 0
-        self.total_ejected_packets = 0
-        self.offered_measured = 0
-        self.ejected_measured = 0
-
-        self.series: dict[str, WindowedSeries] = {}
-        self._series_offered = 0
-        self._series_ejected = 0
-        self._series_last_energy = 0.0
+        self._meter = MeasurementMeter()
+        self.bus.attach(self._meter)
+        self._power_observer = PowerObserver(self.accountant)
+        self.bus.attach(self._power_observer)
+        self._series_observer: SeriesObserver | None = None
         if series_window:
-            self.series = {
-                name: WindowedSeries(series_window)
-                for name in ("offered_rate", "accepted_rate", "power_w", "mean_level")
-            }
+            self._series_observer = SeriesObserver(
+                series_window,
+                self.channels,
+                self.accountant,
+                config.network.router_clock_hz,
+                self._meter,
+            )
+            self.bus.attach(self._series_observer)
+
+    # ------------------------------------------------------------------
+    # Legacy measurement surface (pre-split attribute names)
+    # ------------------------------------------------------------------
+
+    @property
+    def latency(self) -> LatencyCollector:
+        return self._meter.latency
+
+    @property
+    def total_ejected_packets(self) -> int:
+        return self._meter.total_ejected
+
+    @property
+    def offered_measured(self) -> int:
+        return self._meter.offered
+
+    @property
+    def ejected_measured(self) -> int:
+        return self._meter.ejected
+
+    @property
+    def _measuring(self) -> bool:
+        return self._meter.measuring
+
+    @property
+    def _measure_start(self) -> int:
+        return self._meter.measure_start
+
+    @property
+    def series(self) -> dict[str, WindowedSeries]:
+        if self._series_observer is None:
+            return {}
+        return self._series_observer.series
 
     # ------------------------------------------------------------------
     # Probes
@@ -213,100 +164,29 @@ class Simulator:
         )
         downstream.age_hooks.setdefault(spec.dst_port, []).append(probe.on_age)
         self.probes.append(probe)
+        self.bus.attach(ProbeObserver(probe))
+        # Probe windows have always closed before the series window on
+        # shared boundary cycles; keep the series observer last.
+        window_hooks = self.bus.window_hooks
+        if self._series_observer is not None and self._series_observer in window_hooks:
+            window_hooks.remove(self._series_observer)
+            window_hooks.append(self._series_observer)
         return probe
 
     # ------------------------------------------------------------------
-    # Event plumbing
+    # Measurement lifecycle
     # ------------------------------------------------------------------
-
-    def schedule(self, cycle: int, event: tuple) -> None:
-        """Queue *event* for dispatch at *cycle* (must be in the future)."""
-        bucket = self._events.get(cycle)
-        if bucket is None:
-            self._events[cycle] = [event]
-        else:
-            bucket.append(event)
-
-    def _on_packet_ejected(self, packet: Packet, now: int) -> None:
-        self.total_ejected_packets += 1
-        if self._measuring:
-            self.ejected_measured += 1
-            self._series_ejected += 1
-            if packet.created_cycle >= self._measure_start:
-                self.latency.record(packet.latency)
-
-    # ------------------------------------------------------------------
-    # The cycle loop
-    # ------------------------------------------------------------------
-
-    def step(self) -> None:
-        """Advance the simulation by one router cycle."""
-        now = self.now
-        routers = self.routers
-
-        events = self._events.pop(now, None)
-        if events:
-            for event in events:
-                kind = event[0]
-                if kind == EVENT_ARRIVAL:
-                    routers[event[1]].on_arrival(event[2], event[3], event[4], now)
-                elif kind == EVENT_CREDIT:
-                    routers[event[1]].on_credit(event[2], event[3], event[4])
-                else:  # EVENT_PHASE
-                    channel = event[1]
-                    next_cycle = channel.on_phase_end(now)
-                    if next_cycle is not None:
-                        self.schedule(next_cycle, (EVENT_PHASE, channel))
-
-        pairs = self.traffic.injections(now)
-        if pairs:
-            flits_per_packet = self.config.network.flits_per_packet
-            for src, dst in pairs:
-                routers[src].offer_packet(Packet(src, dst, flits_per_packet, now))
-            if self._measuring:
-                self.offered_measured += len(pairs)
-                self._series_offered += len(pairs)
-
-        if now:
-            if self.controllers and now % self.config.dvs.history_window == 0:
-                for controller in self.controllers:
-                    channel = controller.channel
-                    pending_before = channel.pending_event_cycle
-                    controller.close_window(now)
-                    pending_after = channel.pending_event_cycle
-                    if pending_after is not None and pending_after != pending_before:
-                        self.schedule(pending_after, (EVENT_PHASE, channel))
-            if self.probes:
-                for probe in self.probes:
-                    if now % probe.window_cycles == 0:
-                        probe.close_window(now)
-            if self.series and now % self.series_window == 0:
-                self._close_series_window(now)
-
-        for router in routers:
-            if router.total_buffered or router.inj_flits or router.inj_queue:
-                router.step(now)
-
-        self.now = now + 1
-
-    def run_cycles(self, cycles: int) -> None:
-        """Run *cycles* more cycles."""
-        for _ in range(cycles):
-            self.step()
 
     def begin_measurement(self) -> None:
         """End warmup: reset collectors and start the measured phase."""
-        self._measuring = True
-        self._measure_start = self.now
-        self.latency.reset()
-        self.offered_measured = 0
-        self.ejected_measured = 0
-        self.accountant.begin(self.now)
-        self._series_offered = 0
-        self._series_ejected = 0
-        self._series_last_energy = self._total_energy(self.now)
+        now = self.now
+        self._meter.begin(now)
+        self._power_observer.begin(now)
+        if self._series_observer is not None:
+            self._series_observer.begin(now)
         for probe in self.probes:
             probe.reset()
+        self.bus.mark("measurement_begin", now)
 
     def run(self) -> SimulationResult:
         """Warmup, measure, and summarize per the configuration."""
@@ -318,87 +198,24 @@ class Simulator:
     def finish(self) -> SimulationResult:
         """Summarize the measurement phase ending now."""
         now = self.now
-        if not self._measuring:
+        meter = self._meter
+        if not meter.measuring:
             raise SimulationError("finish() before begin_measurement()")
-        measure_cycles = now - self._measure_start
+        measure_cycles = now - meter.measure_start
         if measure_cycles <= 0:
             raise SimulationError("measurement phase is empty")
         power = self.accountant.report(now)
+        self.bus.mark("measurement_end", now)
         return SimulationResult(
             config=self.config,
             measure_cycles=measure_cycles,
-            offered_packets=self.offered_measured,
-            ejected_packets=self.ejected_measured,
-            offered_rate=self.offered_measured / measure_cycles,
-            accepted_rate=self.ejected_measured / measure_cycles,
-            latency=self.latency.stats(),
+            offered_packets=meter.offered,
+            ejected_packets=meter.ejected,
+            offered_rate=meter.offered / measure_cycles,
+            accepted_rate=meter.ejected / measure_cycles,
+            latency=meter.latency.stats(),
             power=power,
             mean_level=self.accountant.mean_level(),
             requests_dropped=sum(c.requests_dropped for c in self.controllers),
             series=dict(self.series),
         )
-
-    # ------------------------------------------------------------------
-    # Series and diagnostics
-    # ------------------------------------------------------------------
-
-    def _total_energy(self, now: int) -> float:
-        total = 0.0
-        for channel in self.channels:
-            channel.dvs.finalize(now)
-            total += channel.dvs.total_energy_j
-        return total
-
-    def _close_series_window(self, now: int) -> None:
-        window = self.series_window
-        self.series["offered_rate"].append(self._series_offered / window)
-        self.series["accepted_rate"].append(self._series_ejected / window)
-        energy = self._total_energy(now)
-        window_s = window / self.config.network.router_clock_hz
-        self.series["power_w"].append(
-            (energy - self._series_last_energy) / window_s
-        )
-        self.series["mean_level"].append(self.accountant.mean_level())
-        self._series_last_energy = energy
-        self._series_offered = 0
-        self._series_ejected = 0
-
-    def flits_in_network(self) -> int:
-        """Flits buffered in routers plus flits in flight on the wires."""
-        buffered = sum(router.total_buffered for router in self.routers)
-        in_flight = sum(
-            1
-            for bucket in self._events.values()
-            for event in bucket
-            if event[0] == EVENT_ARRIVAL
-        )
-        return buffered + in_flight
-
-    def pending_source_packets(self) -> int:
-        """Packets waiting in source queues (plus partially injected ones)."""
-        queued = sum(len(router.inj_queue) for router in self.routers)
-        partial = sum(1 for router in self.routers if router.inj_flits)
-        return queued + partial
-
-    def drain(self, max_cycles: int = 100_000) -> int:
-        """Run with traffic as-is until the network empties; returns cycles.
-
-        Intended for conservation tests: callers typically swap in an
-        exhausted traffic source first. Raises if the network fails to
-        drain within *max_cycles* (a deadlock or livelock).
-        """
-        for elapsed in range(max_cycles):
-            transport_events = any(
-                event[0] != EVENT_PHASE
-                for bucket in self._events.values()
-                for event in bucket
-            )
-            if (
-                not transport_events
-                and self.traffic.pending_injections() == 0
-                and self.flits_in_network() == 0
-                and self.pending_source_packets() == 0
-            ):
-                return elapsed
-            self.step()
-        raise SimulationError(f"network failed to drain within {max_cycles} cycles")

@@ -1,0 +1,90 @@
+"""Tests for the unified execution backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_backend,
+    make_backend,
+)
+from repro.harness.parallel import parallel_rate_sweep
+from repro.harness.sweep import SweepPoint, rate_sweep
+
+from .conftest import small_config
+
+
+class TestMakeBackend:
+    def test_serial_for_none_zero_one(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend(0), SerialBackend)
+        assert isinstance(make_backend(1), SerialBackend)
+
+    def test_pool_for_many(self):
+        backend = make_backend(3, chunksize=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.processes == 3
+        assert backend.chunksize == 2
+
+    def test_negative_processes_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_backend(-1)
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ExperimentError):
+            ProcessPoolBackend(2, chunksize=0)
+
+
+class TestDefaultBackend:
+    def test_unset_env_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+        assert isinstance(default_backend(), SerialBackend)
+
+    def test_env_selects_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "2")
+        backend = default_backend()
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.processes == 2
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "many")
+        with pytest.raises(ExperimentError):
+            default_backend()
+
+
+class TestBackendEquivalence:
+    def test_serial_and_pool_return_identical_sweep_points(self):
+        """Satellite acceptance: identical SweepPoint lists either way."""
+        config = small_config(
+            policy="history", rate=0.2, warmup=200, measure=800
+        )
+        rates = (0.2, 0.4, 0.6)
+        serial = rate_sweep(config, rates, backend=SerialBackend())
+        pooled = rate_sweep(
+            config, rates, backend=ProcessPoolBackend(2, chunksize=2)
+        )
+        assert serial == pooled
+        assert all(isinstance(p, SweepPoint) for p in serial)
+
+    def test_explicit_chunksize_reaches_parallel_wrappers(self):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        points = parallel_rate_sweep(
+            config, (0.2, 0.3), processes=2, chunksize=1
+        )
+        serial = rate_sweep(config, (0.2, 0.3), backend=SerialBackend())
+        assert points == serial
+
+    def test_repr_names_the_configuration(self):
+        assert repr(SerialBackend()) == "SerialBackend()"
+        assert "processes=3" in repr(ProcessPoolBackend(3, chunksize=5))
+
+    def test_empty_batch_short_circuits(self):
+        assert ProcessPoolBackend(4).map_configs([]) == []
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ExecutionBackend().map_configs([])

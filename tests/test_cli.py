@@ -54,3 +54,47 @@ class TestCommands:
     def test_bad_scale_reports_error(self, capsys):
         assert main(["run", "--scale", "galactic"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFig7Scale:
+    def test_scale_flag_accepted_and_noted(self, capsys):
+        # fig7 used to silently swallow --scale through a discarding
+        # lambda; now the figure function takes the scale and the CLI
+        # tells the user it has no effect.
+        assert main(["figure", "fig7", "--scale", "paper"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out
+        assert "no effect" in captured.err
+
+    def test_no_scale_no_note(self, capsys):
+        assert main(["figure", "fig7"]) == 0
+        assert "no effect" not in capsys.readouterr().err
+
+
+class TestRunTrace:
+    def test_trace_written(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main([
+            "run", "--rate", "0.3", "--scale", "smoke", "--trace", str(path),
+        ]) == 0
+        assert "trace:" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert any(r["event"] == "mark" for r in records)
+        assert any(
+            r.get("kind") == "ramp_start" for r in records
+        )  # smoke runs DVS by default
+
+
+class TestSweepProcesses:
+    def test_parser_default_is_serial(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.processes == 1
+
+    def test_sweep_with_two_processes(self, capsys):
+        assert main([
+            "sweep", "--rates", "0.3,0.6", "--scale", "smoke",
+            "--processes", "2",
+        ]) == 0
+        assert "DVS vs non-DVS sweep" in capsys.readouterr().out

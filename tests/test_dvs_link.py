@@ -239,11 +239,15 @@ class TestEnergy:
         channel.finalize(200)
         assert channel.total_energy_j > first
 
-    def test_time_cannot_run_backwards(self):
+    def test_finalize_before_checkpoint_is_a_noop(self):
+        # Transition starts pre-bill energy past `now`, so finalize must
+        # tolerate landing inside an already-integrated span (it used to
+        # raise LinkStateError, crashing series collection under DVS).
         channel = make_channel()
         channel.finalize(100)
-        with pytest.raises(LinkStateError):
-            channel.finalize(50)
+        before = channel.total_energy_j
+        channel.finalize(50)
+        assert channel.total_energy_j == before
 
 
 @settings(max_examples=60, deadline=None)

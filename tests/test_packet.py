@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.network.packet import Flit, Packet
+from repro.network.packet import Packet
 
 
 class TestPacket:

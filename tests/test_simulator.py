@@ -159,6 +159,44 @@ class TestSeries:
         with pytest.raises(ConfigError):
             Simulator(mesh3_config, series_window=-1)
 
+    def test_window_not_dividing_measure_cycles(self):
+        # 2000 measured cycles / 300-cycle windows: the trailing partial
+        # window is simply not emitted; full windows land on multiples of
+        # the window size counted from cycle 0, not from measurement start.
+        config = small_config(rate=0.2, warmup=250, measure=2_000)
+        simulator = Simulator(config, series_window=300)
+        result = simulator.run()
+        # Boundaries at 300..2100 fall inside (250, 2250]; 2400 does not.
+        assert len(result.series["offered_rate"]) == 7
+        assert len(result.series["power_w"]) == 7
+
+    def test_zero_series_window_with_probes_attached(self):
+        # series_window=0 means "no series"; probes must still work and
+        # their windows must keep closing.
+        config = small_config(rate=0.2, warmup=200, measure=1_000)
+        simulator = Simulator(config, series_window=0)
+        probe = simulator.attach_probe(4, 0, window_cycles=50)
+        result = simulator.run()
+        assert result.series == {}
+        assert len(probe.lu_samples) > 0
+
+    def test_begin_measurement_twice_restarts_the_phase(self):
+        config = small_config(rate=0.2, warmup=0, measure=300)
+        simulator = Simulator(config, series_window=100)
+        simulator.run_cycles(400)
+        simulator.begin_measurement()
+        simulator.run_cycles(300)
+        first_offered = simulator.offered_measured
+        assert first_offered > 0
+        simulator.begin_measurement()  # restart: counters reset, clock rebased
+        assert simulator.offered_measured == 0
+        assert simulator.ejected_measured == 0
+        assert simulator._measure_start == 700
+        simulator.run_cycles(300)
+        result = simulator.finish()
+        assert result.measure_cycles == 300
+        assert result.offered_packets == simulator.offered_measured
+
 
 class TestDVSIntegration:
     def test_idle_network_scales_down_and_saves_power(self):
