@@ -1,0 +1,226 @@
+"""Step-throughput benchmark: event-horizon fast-forward vs plain stepping.
+
+Runs a small matrix of workloads through three kernel variants —
+
+* ``fastforward``: the default kernel (active-router dirty set + quiescence
+  skipping),
+* ``no-ff``: same dirty-set scheduler, stepping every cycle,
+* ``legacy-scan``: the pre-dirty-set kernel proxy (full router scan every
+  cycle, no skipping) — the PR-1 baseline,
+
+— and reports wall time, simulated cycles/second, skipped-cycle counts, and
+speedups. Results are archived as JSON under ``benchmarks/results/``.
+
+Unlike the figure benchmarks this is a standalone script (no
+pytest-benchmark) so CI can run it as a perf smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_step_throughput.py --tiny \
+        --require-fast-forward
+
+``--require-fast-forward`` exits non-zero if the fast-forward kernel never
+skipped a cycle on the low-duty scenarios — the guard that keeps the
+optimization from silently rotting into a no-op.
+
+Reference numbers (8x8, default scale, one warmed repeat, this container):
+low-duty 50-task paper workload without DVS ~13x over legacy-scan; with the
+history DVS policy ~2x (224 per-port controllers close an EWMA window every
+200 cycles, which no amount of skipping removes); saturation within a few
+percent of unity either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import (
+    DVSControlConfig,
+    NetworkConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.harness.serialization import write_json
+from repro.network.simulator import Simulator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    config: SimulationConfig
+    #: Low-duty scenarios must fast-forward; saturation need not.
+    expect_skipping: bool
+
+
+def paper_config(
+    *,
+    radix: int,
+    policy: str,
+    kind: str,
+    rate: float,
+    tasks: int,
+    warmup: int,
+    measure: int,
+) -> SimulationConfig:
+    return SimulationConfig(
+        network=NetworkConfig(radix=radix, dimensions=2),
+        dvs=DVSControlConfig(policy=policy),
+        workload=WorkloadConfig(
+            kind=kind,
+            injection_rate=rate,
+            seed=1,
+            average_tasks=tasks,
+            average_task_duration_s=3.0e-6,
+        ),
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+    )
+
+
+def build_scenarios(tiny: bool) -> list[Scenario]:
+    radix = 4 if tiny else 8
+    warmup = 200 if tiny else 1_000
+    measure = 3_000 if tiny else 20_000
+
+    def cfg(**kwargs):
+        return paper_config(radix=radix, warmup=warmup, measure=measure, **kwargs)
+
+    return [
+        Scenario(
+            "paper-50tasks-low-nodvs",
+            cfg(policy="none", kind="two_level", rate=0.01, tasks=50),
+            expect_skipping=True,
+        ),
+        Scenario(
+            "paper-50tasks-low-dvs",
+            cfg(policy="history", kind="two_level", rate=0.01, tasks=50),
+            expect_skipping=True,
+        ),
+        Scenario(
+            "paper-100tasks",
+            cfg(policy="history", kind="two_level", rate=0.05, tasks=100),
+            expect_skipping=True,
+        ),
+        Scenario(
+            "near-zero-load-uniform",
+            cfg(policy="none", kind="uniform", rate=0.005, tasks=50),
+            expect_skipping=True,
+        ),
+        Scenario(
+            "saturation-uniform",
+            cfg(policy="history", kind="uniform", rate=0.8, tasks=50),
+            expect_skipping=False,
+        ),
+    ]
+
+
+VARIANTS = ("fastforward", "no-ff", "legacy-scan")
+
+
+def run_variant(config: SimulationConfig, variant: str, repeats: int) -> dict:
+    """Best-of-*repeats* wall time for one kernel variant on *config*."""
+    best = None
+    simulator = None
+    for _ in range(repeats):
+        simulator = Simulator(config, fast_forward=(variant == "fastforward"))
+        if variant == "legacy-scan":
+            simulator.legacy_scan = True
+        start = time.perf_counter()
+        simulator.run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    cycles = config.total_cycles
+    return {
+        "wall_s": best,
+        "cycles": cycles,
+        "cycles_per_s": cycles / best if best else float("inf"),
+        "idle_cycles_skipped": simulator.idle_cycles_skipped,
+        "idle_spans": simulator.idle_spans,
+    }
+
+
+def run_scenario(scenario: Scenario, repeats: int) -> dict:
+    timings = {
+        variant: run_variant(scenario.config, variant, repeats)
+        for variant in VARIANTS
+    }
+    fast = timings["fastforward"]
+    return {
+        "scenario": scenario.name,
+        "expect_skipping": scenario.expect_skipping,
+        "variants": timings,
+        "speedup_vs_no_ff": timings["no-ff"]["wall_s"] / fast["wall_s"],
+        "speedup_vs_legacy": timings["legacy-scan"]["wall_s"] / fast["wall_s"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI-sized runs (4x4 mesh, short cycle counts)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed repeats per variant; best is reported (default 2)",
+    )
+    parser.add_argument(
+        "--require-fast-forward", action="store_true",
+        help="exit non-zero unless low-duty scenarios actually skipped cycles",
+    )
+    parser.add_argument(
+        "--json", default=str(RESULTS_DIR / "step_throughput.json"),
+        help="result JSON path ('' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    for scenario in build_scenarios(args.tiny):
+        row = run_scenario(scenario, max(1, args.repeats))
+        rows.append(row)
+        fast = row["variants"]["fastforward"]
+        print(
+            f"{scenario.name:28s} "
+            f"ff {fast['wall_s']*1e3:8.1f} ms "
+            f"({fast['cycles_per_s']/1e3:8.1f} kcyc/s, "
+            f"{fast['idle_cycles_skipped']}/{fast['cycles']} skipped)  "
+            f"vs no-ff {row['speedup_vs_no_ff']:5.2f}x  "
+            f"vs legacy {row['speedup_vs_legacy']:5.2f}x"
+        )
+
+    report = {
+        "benchmark": "step_throughput",
+        "tiny": args.tiny,
+        "repeats": max(1, args.repeats),
+        "rows": rows,
+    }
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json(report, path)
+        print(f"\nresults written to {path}")
+
+    if args.require_fast_forward:
+        dead = [
+            row["scenario"]
+            for row in rows
+            if row["expect_skipping"]
+            and row["variants"]["fastforward"]["idle_cycles_skipped"] == 0
+        ]
+        if dead:
+            print(
+                "FAIL: fast-forward never engaged on: " + ", ".join(dead),
+                file=sys.stderr,
+            )
+            return 1
+        print("fast-forward engaged on all low-duty scenarios")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

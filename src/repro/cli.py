@@ -25,6 +25,7 @@ from .core.levels import PAPER_TABLE
 from .core.power_model import PAPER_LINK_POWER
 from .core.thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS
 from .errors import ReproError
+from .harness import cache as sweep_cache
 from .harness import experiments
 from .harness.backends import make_backend
 from .harness.runner import run_simulation
@@ -96,12 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--processes", type=int, default=1,
                        help="worker processes for the sweep (1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore the on-disk sweep result cache")
     sweep.set_defaults(func=cmd_sweep)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", default=None)
     figure.add_argument("--json", default=None, help="also write rows to this path")
+    figure.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk sweep result cache")
     figure.set_defaults(func=cmd_figure)
 
     return parser
@@ -156,7 +161,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_stats_line() -> str | None:
+    cache = sweep_cache.get_cache()
+    if cache is None:
+        return "sweep cache: disabled"
+    if cache.hits or cache.misses:
+        return f"sweep cache: {cache.describe()}"
+    return None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        sweep_cache.set_cache(None)
+        try:
+            return _cmd_sweep(args)
+        finally:
+            sweep_cache.reset_cache()
+    return _cmd_sweep(args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     rates = tuple(float(r) for r in args.rates.split(","))
     base = scale.simulation(rates[0], workload_overrides={"seed": args.seed})
@@ -190,10 +214,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     summary = summarize_comparison(sweeps["none"], sweeps["history"])
     print()
     print(summary.describe())
+    stats = _cache_stats_line()
+    if stats:
+        print(stats)
     return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        sweep_cache.set_cache(None)
+        try:
+            return _cmd_figure(args)
+        finally:
+            sweep_cache.reset_cache()
+    return _cmd_figure(args)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     if args.name in SCALE_INDEPENDENT and args.scale is not None:
         print(
@@ -208,6 +245,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
             args.json,
         )
         print(f"\nrows written to {args.json}")
+    stats = _cache_stats_line()
+    if stats:
+        print(stats, file=sys.stderr)
     return 0
 
 

@@ -278,6 +278,19 @@ class SimulationConfig:
     def with_dvs(self, dvs: DVSControlConfig) -> "SimulationConfig":
         return replace(self, dvs=dvs)
 
+    def fingerprint(self) -> str:
+        """Canonical JSON describing this experiment, for content addressing.
+
+        Two configs with equal fingerprints describe bit-identical
+        simulations (the workload seed is part of the workload config, so
+        it is part of the fingerprint). The sweep result cache keys on
+        this plus a code epoch; see :mod:`repro.harness.cache`.
+        """
+        # Imported lazily: the harness imports this module at load time.
+        from .harness.serialization import canonical_json
+
+        return canonical_json(self)
+
 
 def paper_baseline_config(**overrides) -> SimulationConfig:
     """The paper's Section 4.2 configuration (possibly overridden).

@@ -14,6 +14,13 @@ bit-identical result lists — the backend choice is purely a wall-clock
 decision. Set the ``REPRO_PROCESSES`` environment variable to make every
 backend-unaware sweep (including all of
 :mod:`repro.harness.experiments`) fan out transparently.
+
+Both backends consult the sweep result cache (:mod:`repro.harness.cache`)
+before running anything: previously simulated configs are answered from
+disk, only the misses are executed (serially or in the pool), and fresh
+results are stored for next time. Caching does not change results — a
+cached entry is the pickled result of the identical simulation — and is
+disabled entirely via ``REPRO_CACHE=off`` or the CLI's ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Iterable
 from ..config import SimulationConfig
 from ..errors import ExperimentError
 from ..network.simulator import SimulationResult
+from .cache import get_cache
 from .runner import run_simulation
 
 
@@ -44,7 +52,13 @@ class SerialBackend(ExecutionBackend):
     def map_configs(
         self, configs: Iterable[SimulationConfig]
     ) -> list[SimulationResult]:
-        return [run_simulation(config) for config in configs]
+        configs = list(configs)
+        cache = get_cache()
+        if cache is None:
+            return [run_simulation(config) for config in configs]
+        return cache.map_cached(
+            configs, lambda missing: [run_simulation(config) for config in missing]
+        )
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -72,6 +86,16 @@ class ProcessPoolBackend(ExecutionBackend):
         self, configs: Iterable[SimulationConfig]
     ) -> list[SimulationResult]:
         configs = list(configs)
+        if not configs:
+            return []
+        cache = get_cache()
+        if cache is None:
+            return self._run_batch(configs)
+        return cache.map_cached(configs, self._run_batch)
+
+    def _run_batch(
+        self, configs: list[SimulationConfig]
+    ) -> list[SimulationResult]:
         if not configs:
             return []
         if self.processes == 1:

@@ -1,0 +1,218 @@
+"""Content-addressed on-disk memoization of sweep simulation results.
+
+A simulation is fully described by its (frozen, picklable)
+:class:`~repro.config.SimulationConfig` — the workload seed included — so
+its :class:`~repro.network.simulator.SimulationResult` can be cached on
+disk and reused across processes and sessions. Every execution backend
+(:mod:`repro.harness.backends`) consults the cache transparently: a sweep
+re-run only simulates points it has never seen.
+
+Key construction
+    ``sha256(code_epoch + "\\n" + config.fingerprint())`` where the
+    fingerprint is the config's canonical JSON (sorted keys, fixed
+    separators — see :func:`~repro.harness.serialization.canonical_json`)
+    and :data:`CODE_EPOCH` names the current simulated semantics. Bump
+    the epoch whenever a change alters simulation output for the same
+    config; old entries are simply never looked up again.
+
+Safety
+    Entries verify their stored fingerprint on load (hash collisions and
+    stale schema both degrade to a miss), corrupt or unreadable files are
+    misses, and writes go through a temp file + ``os.replace`` so
+    concurrent sweep processes never observe a torn entry. Store failures
+    are swallowed: a read-only cache directory slows a sweep down, it
+    never breaks one.
+
+Escape hatches
+    ``REPRO_CACHE=off`` (also ``0``/``no``/``none``/``disabled``)
+    disables caching; any other non-empty value is used as the cache
+    directory; unset picks ``$XDG_CACHE_HOME/repro/sweeps`` (falling back
+    to ``~/.cache``). The CLI's ``--no-cache`` flag and tests use
+    :func:`set_cache` to override programmatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+
+#: Environment variable controlling the cache location (or disabling it).
+CACHE_ENV = "REPRO_CACHE"
+
+#: Name of the current simulated semantics. Bump on any change that
+#: alters simulation output for an unchanged config.
+CODE_EPOCH = "pr2-event-horizon"
+
+_DISABLE_VALUES = frozenset({"0", "off", "no", "none", "disabled", "false"})
+
+
+class SweepCache:
+    """One on-disk result store plus in-process hit/miss counters."""
+
+    def __init__(self, root: str | Path, *, epoch: str = CODE_EPOCH):
+        self.root = Path(root).expanduser()
+        self.epoch = epoch
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def _key(self, fingerprint: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.epoch.encode("utf-8"))
+        digest.update(b"\n")
+        digest.update(fingerprint.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _path(self, fingerprint: str) -> Path:
+        key = self._key(fingerprint)
+        return self.root / self.epoch / key[:2] / f"{key}.pkl"
+
+    def entry_path(self, config: SimulationConfig) -> Path:
+        """Where *config*'s result lives (whether or not it exists yet)."""
+        return self._path(config.fingerprint())
+
+    # -- single-entry operations ----------------------------------------
+
+    def load(self, config: SimulationConfig):
+        """The cached result for *config*, or ``None`` on any miss."""
+        fingerprint = config.fingerprint()
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, dict) or entry.get("fingerprint") != fingerprint:
+            return None
+        return entry.get("result")
+
+    def store(self, config: SimulationConfig, result) -> None:
+        """Persist *result* for *config*; best-effort (never raises OSError)."""
+        payload = pickle.dumps(
+            {
+                "epoch": self.epoch,
+                "fingerprint": config.fingerprint(),
+                "result": result,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        path = self.entry_path(config)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # -- batch operation (the backend entry point) -----------------------
+
+    def map_cached(
+        self,
+        configs: Sequence[SimulationConfig],
+        run_batch: Callable[[list[SimulationConfig]], Iterable],
+    ) -> list:
+        """Results for *configs* in order, computing only the misses.
+
+        *run_batch* receives the missing configs (input order preserved)
+        and must return one result per config; freshly computed results
+        are stored before returning.
+        """
+        configs = list(configs)
+        results: list = [None] * len(configs)
+        miss_indices: list[int] = []
+        miss_configs: list[SimulationConfig] = []
+        for index, config in enumerate(configs):
+            cached = self.load(config)
+            if cached is None:
+                self.misses += 1
+                miss_indices.append(index)
+                miss_configs.append(config)
+            else:
+                self.hits += 1
+                results[index] = cached
+        if miss_configs:
+            computed = list(run_batch(miss_configs))
+            if len(computed) != len(miss_configs):
+                raise ExperimentError(
+                    f"backend returned {len(computed)} results for "
+                    f"{len(miss_configs)} configs"
+                )
+            for index, config, result in zip(miss_indices, miss_configs, computed):
+                self.store(config, result)
+                results[index] = result
+        return results
+
+    def describe(self) -> str:
+        """One-line human summary for sweep output."""
+        return f"{self.hits} hits, {self.misses} misses ({self.root})"
+
+    def __repr__(self) -> str:
+        return f"SweepCache(root={str(self.root)!r}, epoch={self.epoch!r})"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide selection
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+#: Explicit override installed by set_cache(); _UNSET defers to the env.
+_override = _UNSET
+#: Root path -> instance, so hit/miss counters accumulate per process.
+_instances: dict[str, SweepCache] = {}
+
+
+def default_cache_root() -> Path:
+    """``$XDG_CACHE_HOME/repro/sweeps``, falling back to ``~/.cache``."""
+    base = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(base).expanduser() if base else Path("~/.cache").expanduser()
+    return root / "repro" / "sweeps"
+
+
+def cache_from_env() -> SweepCache | None:
+    """The cache selected by ``REPRO_CACHE`` (``None`` when disabled)."""
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if raw.lower() in _DISABLE_VALUES:
+        return None
+    root = Path(raw).expanduser() if raw else default_cache_root()
+    key = str(root)
+    cache = _instances.get(key)
+    if cache is None:
+        cache = _instances[key] = SweepCache(root)
+    return cache
+
+
+def get_cache() -> SweepCache | None:
+    """The active sweep cache: the override if set, else the environment."""
+    if _override is not _UNSET:
+        return _override  # type: ignore[return-value]
+    return cache_from_env()
+
+
+def set_cache(cache: SweepCache | None) -> None:
+    """Install an explicit cache (or ``None`` to disable caching)."""
+    global _override
+    _override = cache
+
+
+def reset_cache() -> None:
+    """Drop any explicit override; revert to environment selection."""
+    global _override
+    _override = _UNSET

@@ -38,6 +38,16 @@ def to_json(obj):
     return repr(obj)
 
 
+def canonical_json(obj) -> str:
+    """Deterministic compact JSON for content addressing.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    objects always produce byte-identical strings — the property the
+    sweep cache's fingerprints rely on.
+    """
+    return json.dumps(to_json(obj), sort_keys=True, separators=(",", ":"))
+
+
 def write_json(obj, path: str | Path) -> Path:
     """Serialize *obj* with :func:`to_json` and write it to *path*."""
     path = Path(path)

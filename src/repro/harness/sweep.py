@@ -4,6 +4,11 @@ The paper's latency/throughput figures are sweeps of offered load; this
 module runs them, pairs DVS against baselines on identical workload seeds,
 and computes the paper's summary statistics (zero-load latency increase,
 average pre-saturation latency increase, throughput delta, power savings).
+
+Sweeps execute through an :class:`~repro.harness.backends.ExecutionBackend`,
+which memoizes per-config results on disk (:mod:`repro.harness.cache`):
+re-running a sweep only simulates points whose exact config has never been
+run under the current code epoch. Results are bit-identical either way.
 """
 
 from __future__ import annotations

@@ -26,11 +26,24 @@ The hook points, in the order they fire within one cycle:
     before the routers step.
 ``on_packet_ejected``
     A packet's tail flit left the network (fires inside the router step).
+``on_idle_span``
+    The kernel fast-forwarded over a quiescent span: every cycle in
+    ``[start, end)`` was provably a no-op (no routers active, no events,
+    no injections, no window boundaries) and was skipped rather than
+    stepped. Observers that count or integrate per-cycle state use this
+    to account the span in closed form.
 
 Observers may also override ``on_mark`` to receive out-of-band lifecycle
 marks (e.g. ``measurement_begin``) emitted by the harness via
 :meth:`InstrumentBus.mark`; marks are driven by the measurement layer,
 never by the kernel itself.
+
+Fast-forward contract: an observer that overrides ``on_cycle`` but not
+``on_idle_span`` needs to see every cycle, so its presence disables the
+kernel's quiescence skipping (the bus tracks these in
+:attr:`InstrumentBus.unskippable_cycle_hooks`). Overriding both opts the
+observer back in: skipped spans arrive through ``on_idle_span`` and
+stepped cycles through ``on_cycle``.
 """
 
 from __future__ import annotations
@@ -90,6 +103,9 @@ class Observer:
     def on_window_close(self, now: int) -> None:
         """Called when ``now % window_cycles == 0`` (and ``now > 0``)."""
 
+    def on_idle_span(self, start: int, end: int) -> None:
+        """Called when the kernel skipped the quiescent cycles ``[start, end)``."""
+
     def on_transition(self, event: TransitionEvent) -> None:
         """Called at DVS channel state-machine boundaries."""
 
@@ -103,6 +119,7 @@ _HOOKS = {
     "on_packet_offered": "offered_hooks",
     "on_packet_ejected": "ejected_hooks",
     "on_window_close": "window_hooks",
+    "on_idle_span": "idle_span_hooks",
     "on_transition": "transition_hooks",
     "on_mark": "mark_hooks",
 }
@@ -126,8 +143,10 @@ class InstrumentBus:
         "offered_hooks",
         "ejected_hooks",
         "window_hooks",
+        "idle_span_hooks",
         "transition_hooks",
         "mark_hooks",
+        "unskippable_cycle_hooks",
     )
 
     def __init__(self):
@@ -136,8 +155,12 @@ class InstrumentBus:
         self.offered_hooks: list[Observer] = []
         self.ejected_hooks: list[Observer] = []
         self.window_hooks: list[Observer] = []
+        self.idle_span_hooks: list[Observer] = []
         self.transition_hooks: list[Observer] = []
         self.mark_hooks: list[Observer] = []
+        #: Cycle-hook observers with no ``on_idle_span`` — while any is
+        #: attached the kernel must step every cycle (no fast-forward).
+        self.unskippable_cycle_hooks: list[Observer] = []
 
     def attach(self, observer: Observer) -> Observer:
         """Register *observer* on every hook it overrides; returns it."""
@@ -155,6 +178,7 @@ class InstrumentBus:
                     )
             getattr(self, attr).append(observer)
         self.observers.append(observer)
+        self._refresh_fast_forward_view()
         return observer
 
     def detach(self, observer: Observer) -> None:
@@ -166,6 +190,13 @@ class InstrumentBus:
             hooks = getattr(self, attr)
             if observer in hooks:
                 hooks.remove(observer)
+        self._refresh_fast_forward_view()
+
+    def _refresh_fast_forward_view(self) -> None:
+        spanners = self.idle_span_hooks
+        self.unskippable_cycle_hooks = [
+            observer for observer in self.cycle_hooks if observer not in spanners
+        ]
 
     def mark(self, label: str, cycle: int) -> None:
         """Broadcast a lifecycle mark (e.g. ``measurement_begin``)."""

@@ -21,18 +21,37 @@ cycle the kernel
    start;
 4. dispatches ``on_window_close`` to windowed observers and ``on_cycle``
    to per-cycle observers;
-5. steps every non-idle router (ejection, routing/VC allocation, switch
+5. steps every *active* router (ejection, routing/VC allocation, switch
    allocation, injection); tail-flit ejections reach observers through
    ``on_packet_ejected``.
 
+Two scheduling optimizations make the kernel event-driven where the
+workload allows, without changing a single simulated bit (see
+``docs/performance.md`` for the bit-identity argument):
+
+* **Active-router set.** Routers join a dirty set when they gain work
+  (a flit arrival or a source-queue offer — the only engine-visible ways
+  a router becomes non-idle) and leave it when their own step empties
+  them. The per-cycle loop iterates the set in ascending node order,
+  which is exactly the order of the old full scan over all N routers.
+* **Quiescence fast-forward.** When the active set is empty, nothing can
+  happen before the next *event horizon*: the earliest of the next
+  bucket-map event, the next traffic injection
+  (:meth:`~repro.traffic.base.TrafficSource.next_injection_cycle`), the
+  next DVS history-window boundary, and the next observer window
+  boundary. The kernel jumps ``now`` straight there, notifying
+  ``on_idle_span`` observers of the skipped range. Observers that need
+  every cycle (``on_cycle`` without ``on_idle_span``) disable skipping.
+
 Events live in a bucket map keyed by cycle, which outperforms a heap when
 almost every future cycle holds events. The kernel additionally maintains
-outstanding-event counters (transport events and arrivals specifically),
-updated at schedule/dispatch, so drain-progress checks are O(1) instead of
-walking every pending bucket. Inter-router flit traversal is "emulated
-with message passing" exactly as in the paper: a launched flit becomes an
-arrival event ``pipeline latency + serialization`` cycles later, so slow
-links lengthen hops and throttle bandwidth.
+outstanding-event counters (transport events, arrivals, and source-queue
+packets), updated at schedule/dispatch/offer/inject, so drain-progress
+checks are O(1) instead of walking every pending bucket and router.
+Inter-router flit traversal is "emulated with message passing" exactly as
+in the paper: a launched flit becomes an arrival event ``pipeline latency
++ serialization`` cycles later, so slow links lengthen hops and throttle
+bandwidth.
 """
 
 from __future__ import annotations
@@ -77,9 +96,19 @@ class SimulationEngine:
         *,
         traffic=None,
         bus: InstrumentBus | None = None,
+        fast_forward: bool = True,
     ):
         self.config = config
         self.bus = bus if bus is not None else InstrumentBus()
+        #: Allow quiescence skipping (bit-identical either way; set False
+        #: to force cycle-by-cycle stepping, e.g. for A/B benchmarks).
+        self.fast_forward = fast_forward
+        #: Benchmark escape hatch: emulate the pre-active-set kernel that
+        #: scanned all N routers every cycle.
+        self.legacy_scan = False
+        #: Diagnostics: cycles and spans elided by quiescence skipping.
+        self.idle_cycles_skipped = 0
+        self.idle_spans = 0
         net = config.network
         link = config.link
 
@@ -97,6 +126,13 @@ class SimulationEngine:
         # drain checks never walk the bucket map.
         self._pending_transport = 0
         self._pending_arrivals = 0
+        # Source-queue packets not yet fully in the network, maintained at
+        # offer/inject so drain checks never walk the routers.
+        self._pending_source = 0
+        #: Nodes whose router has work this cycle == exactly the non-idle
+        #: routers (they gain work only through engine-visible arrivals and
+        #: offers, and lose it only in their own step).
+        self._active: set[int] = set()
 
         self.routers = [
             Router(
@@ -108,6 +144,7 @@ class SimulationEngine:
                 credit_delay=net.credit_delay,
                 schedule=self.schedule,
                 packet_sink=self._on_packet_ejected,
+                injected_sink=self._on_packet_injected,
             )
             for node in range(self.topology.node_count)
         ]
@@ -182,6 +219,9 @@ class SimulationEngine:
         for observer in self.bus.ejected_hooks:
             observer.on_packet_ejected(packet, now)
 
+    def _on_packet_injected(self) -> None:
+        self._pending_source -= 1
+
     def _emit_transition(self, channel: DVSChannel, now: int, kind: str) -> None:
         event = TransitionEvent(
             cycle=now,
@@ -208,12 +248,15 @@ class SimulationEngine:
 
         events = self._events.pop(now, None)
         if events:
+            active = self._active
             for event in events:
                 kind = event[0]
                 if kind == EVENT_ARRIVAL:
                     self._pending_transport -= 1
                     self._pending_arrivals -= 1
-                    routers[event[1]].on_arrival(event[2], event[3], event[4], now)
+                    node = event[1]
+                    routers[node].on_arrival(event[2], event[3], event[4], now)
+                    active.add(node)
                 elif kind == EVENT_CREDIT:
                     self._pending_transport -= 1
                     routers[event[1]].on_credit(event[2], event[3], event[4])
@@ -232,9 +275,12 @@ class SimulationEngine:
         if pairs:
             flits_per_packet = self.config.network.flits_per_packet
             offered_hooks = bus.offered_hooks
+            active = self._active
             for src, dst in pairs:
                 packet = Packet(src, dst, flits_per_packet, now)
                 routers[src].offer_packet(packet)
+                active.add(src)
+                self._pending_source += 1
                 if offered_hooks:
                     for observer in offered_hooks:
                         observer.on_packet_offered(packet, now)
@@ -262,16 +308,106 @@ class SimulationEngine:
             for observer in cycle_hooks:
                 observer.on_cycle(now)
 
-        for router in routers:
-            if router.total_buffered or router.inj_flits or router.inj_queue:
+        active = self._active
+        if self.legacy_scan:
+            # Pre-active-set behavior for A/B benchmarks: probe all N
+            # routers, then resynchronize the set (order is identical —
+            # both scans step non-idle routers in ascending node order).
+            for router in routers:
+                if router.total_buffered or router.inj_flits or router.inj_queue:
+                    router.step(now)
+            active.clear()
+            for node, router in enumerate(routers):
+                if router.total_buffered or router.inj_flits or router.inj_queue:
+                    active.add(node)
+        elif active:
+            for node in sorted(active):
+                router = routers[node]
                 router.step(now)
+                if not (
+                    router.total_buffered or router.inj_flits or router.inj_queue
+                ):
+                    active.discard(node)
 
         self.now = now + 1
 
     def run_cycles(self, cycles: int) -> None:
-        """Run *cycles* more cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Run *cycles* more cycles (fast-forwarding quiescent spans)."""
+        self.run_until(self.now + cycles)
+
+    def run_until(self, target: int) -> None:
+        """Advance until ``now == target`` (fast-forwarding where possible)."""
+        if not self.fast_forward:
+            while self.now < target:
+                self.step()
+            return
+        while self.now < target:
+            self._advance_chunk(target)
+
+    def _advance_chunk(self, target: int) -> None:
+        """Advance at least one cycle toward *target*: skip or step.
+
+        With an empty active set, every cycle strictly before the event
+        horizon is provably a no-op — no events dispatch, the traffic
+        source neither emits nor mutates, no window closes, no router
+        steps — and all time-dependent accounting (link energy, occupancy
+        integrals, idle-power accrual) is lazily integrated and therefore
+        jump-safe. Skipping those cycles is bit-identical to stepping
+        them.
+        """
+        if self.fast_forward and not self._active:
+            horizon = self._quiescent_horizon()
+            end = horizon if horizon < target else target
+            now = self.now
+            if end > now:
+                span_hooks = self.bus.idle_span_hooks
+                if span_hooks:
+                    for observer in span_hooks:
+                        observer.on_idle_span(now, end)
+                self.idle_cycles_skipped += end - now
+                self.idle_spans += 1
+                self.now = end
+                return
+        self.step()
+
+    def _quiescent_horizon(self) -> int | float:
+        """Earliest cycle >= now at which anything could happen.
+
+        Only meaningful while the active set is empty. Returns ``now``
+        itself when fast-forward is not permitted (an attached observer
+        needs every cycle, or the traffic source cannot predict its next
+        injection), which makes the caller fall back to a plain step.
+        """
+        now = self.now
+        bus = self.bus
+        if bus.unskippable_cycle_hooks:
+            return now
+        next_injection = self.traffic.next_injection_cycle(now)
+        if next_injection is None:
+            return now
+        horizon: int | float = next_injection
+        if self._events:
+            first_event = min(self._events)
+            if first_event < horizon:
+                horizon = first_event
+        if self.controllers:
+            window = self.config.dvs.history_window
+            # Next cycle with now % window == 0. A boundary at `now` itself
+            # is still pending (it closes inside step(now)) and correctly
+            # forces a plain step — except cycle 0, where nothing closes.
+            boundary = now + (-now % window)
+            if boundary == 0:
+                boundary = window
+            if boundary < horizon:
+                horizon = boundary
+        for observer in bus.window_hooks:
+            window = observer.window_cycles
+            boundary = now + (-now % window)
+            if boundary == 0:
+                boundary = window
+            if boundary < horizon:
+                horizon = boundary
+        return horizon
 
     # ------------------------------------------------------------------
     # Drain diagnostics
@@ -283,10 +419,13 @@ class SimulationEngine:
         return buffered + self._pending_arrivals
 
     def pending_source_packets(self) -> int:
-        """Packets waiting in source queues (plus partially injected ones)."""
-        queued = sum(len(router.inj_queue) for router in self.routers)
-        partial = sum(1 for router in self.routers if router.inj_flits)
-        return queued + partial
+        """Packets waiting in source queues (plus partially injected ones).
+
+        O(1): the counter is incremented when a packet is offered and
+        decremented when its tail flit enters the local input buffers
+        (the router's ``injected_sink`` seam).
+        """
+        return self._pending_source
 
     def drain(self, max_cycles: int = 100_000) -> int:
         """Run with traffic as-is until the network empties; returns cycles.
@@ -294,14 +433,26 @@ class SimulationEngine:
         Intended for conservation tests: callers typically swap in an
         exhausted traffic source first. Raises if the network fails to
         drain within *max_cycles* (a deadlock or livelock).
+
+        The emptiness probe is O(1) end-to-end: outstanding transport
+        events, source-queue packets, and buffered flits are all tracked
+        by counters (an empty active set implies every router buffer and
+        injection queue is empty). The probe only needs evaluating at
+        fast-forward chunk boundaries because nothing it reads can change
+        across a skipped quiescent span.
         """
-        for elapsed in range(max_cycles):
+        start = self.now
+        deadline = start + max_cycles
+        while self.now < deadline:
             if (
                 self._pending_transport == 0
+                and not self._active
+                and self._pending_source == 0
                 and self.traffic.pending_injections() == 0
-                and self.flits_in_network() == 0
-                and self.pending_source_packets() == 0
             ):
-                return elapsed
-            self.step()
+                return self.now - start
+            if self.fast_forward:
+                self._advance_chunk(deadline)
+            else:
+                self.step()
         raise SimulationError(f"network failed to drain within {max_cycles} cycles")

@@ -26,6 +26,10 @@ router knowing they exist (see ``docs/architecture.md``):
 * ``packet_sink`` — invoked with ``(packet, now)`` when a tail flit is
   ejected at its destination. The cycle kernel passes its instrumentation
   dispatcher here, which fans out to every ``on_packet_ejected`` observer.
+* ``injected_sink`` — invoked (no arguments) when a packet's tail flit has
+  fully entered the local input buffers, i.e. the packet left the source
+  queue side of the router. The kernel maintains its O(1)
+  pending-source-packet counter through this seam.
 * ``age_hooks`` — per-input-port lists of ``hook(age_cycles)`` callables
   fired on every dequeue; utilization probes tap buffer-age distributions
   (paper Figure 5) through these.
@@ -55,6 +59,10 @@ ScheduleFn = Callable[[int, tuple], None]
 PacketSink = Callable[[Packet, int], None]
 
 
+def _noop() -> None:
+    """Default ``injected_sink`` for routers built outside the kernel."""
+
+
 class Router:
     """One virtual-channel router plus its attached output channels."""
 
@@ -76,6 +84,7 @@ class Router:
         "inj_vc",
         "total_buffered",
         "packet_sink",
+        "injected_sink",
         "age_hooks",
         "schedule",
         "credit_delay",
@@ -96,6 +105,7 @@ class Router:
         credit_delay: int,
         schedule: ScheduleFn,
         packet_sink: PacketSink,
+        injected_sink: Callable[[], None] | None = None,
     ):
         self.node = node
         self.local_port = topology.local_port
@@ -103,6 +113,7 @@ class Router:
         self.routing = routing
         self.schedule = schedule
         self.packet_sink = packet_sink
+        self.injected_sink = injected_sink if injected_sink is not None else _noop
         self.credit_delay = credit_delay
 
         num_in_ports = topology.ports_per_router + 1  # network ports + local
@@ -412,3 +423,4 @@ class Router:
             if self.inj_pos >= len(self.inj_flits):
                 self.inj_flits = []
                 self.inj_pos = 0
+                self.injected_sink()

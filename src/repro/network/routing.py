@@ -71,10 +71,15 @@ class DimensionOrderRouting(RoutingFunction):
     #: beyond it, fall back to per-query computation with a bounded cache.
     _TABLE_LIMIT = 1024
 
+    #: Maximum (node, dst) entries in the per-query cache; oldest-inserted
+    #: entries are evicted first once full (dict preserves insert order).
+    _CACHE_LIMIT = 8192
+
     def __init__(self, topology: Topology, vcs_per_port: int):
         super().__init__(topology, vcs_per_port)
         if topology.wraparound and vcs_per_port < 2:
             raise ConfigError("torus dimension-order routing needs >= 2 VCs")
+        self._route_cache: dict[tuple[int, int], int] = {}
         self._table: list[list[int]] | None = None
         if topology.node_count <= self._TABLE_LIMIT:
             self._table = [
@@ -92,7 +97,15 @@ class DimensionOrderRouting(RoutingFunction):
             if port < 0:
                 raise RoutingError(f"asked to route at destination node {node}")
             return port
-        return self._compute_route_port(node, dst)
+        cache = self._route_cache
+        key = (node, dst)
+        port = cache.get(key)
+        if port is None:
+            port = self._compute_route_port(node, dst)
+            if len(cache) >= self._CACHE_LIMIT:
+                del cache[next(iter(cache))]
+            cache[key] = port
+        return port
 
     def _compute_route_port(self, node: int, dst: int) -> int:
         self._check(node, dst)
@@ -152,6 +165,10 @@ class MinimalAdaptiveRouting(RoutingFunction):
 
     name = "adaptive"
 
+    #: Maximum cached (node, dst) candidate tuples; oldest-inserted
+    #: entries are evicted first once full.
+    _CACHE_LIMIT = 8192
+
     def __init__(self, topology: Topology, vcs_per_port: int):
         super().__init__(topology, vcs_per_port)
         if topology.wraparound:
@@ -162,11 +179,14 @@ class MinimalAdaptiveRouting(RoutingFunction):
         self._candidate_cache: dict[tuple[int, int], tuple[int, ...]] = {}
 
     def candidates(self, node: int, dst: int) -> tuple[int, ...]:
-        cached = self._candidate_cache.get((node, dst))
+        cache = self._candidate_cache
+        cached = cache.get((node, dst))
         if cached is not None:
             return cached
         result = self._compute_candidates(node, dst)
-        self._candidate_cache[(node, dst)] = result
+        if len(cache) >= self._CACHE_LIMIT:
+            del cache[next(iter(cache))]
+        cache[(node, dst)] = result
         return result
 
     def _compute_candidates(self, node: int, dst: int) -> tuple[int, ...]:

@@ -76,10 +76,11 @@ class Simulator(SimulationEngine):
         traffic=None,
         series_window: int = 0,
         bus: InstrumentBus | None = None,
+        fast_forward: bool = True,
     ):
         if series_window < 0:
             raise ConfigError("series window cannot be negative")
-        super().__init__(config, traffic=traffic, bus=bus)
+        super().__init__(config, traffic=traffic, bus=bus, fast_forward=fast_forward)
         self.series_window = series_window
 
         self.accountant = PowerAccountant(

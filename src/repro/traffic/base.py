@@ -43,6 +43,22 @@ class TrafficSource(ABC):
         """
         return 0
 
+    def next_injection_cycle(self, now: int) -> int | float | None:
+        """Earliest cycle >= *now* at which :meth:`injections` may act.
+
+        The kernel's quiescence fast-forward skips polling this source for
+        every cycle strictly before the returned value, so the contract is
+        strict: for any cycle ``t`` with ``now <= t < next_injection_cycle
+        (now)``, ``injections(t)`` must return ``[]`` *and* be free of
+        side effects (no RNG draws, no internal state advance) — skipping
+        those calls must be bit-identical to making them.
+
+        Return ``math.inf`` when the source will never inject again, or
+        ``None`` (the conservative default) when the source cannot
+        predict, which disables fast-forward entirely.
+        """
+        return None
+
     def _count(self, pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
         """Bookkeeping helper for subclasses: tally and pass through."""
         self.packets_offered += len(pairs)

@@ -10,6 +10,8 @@ of the network idles (and scales down).
 
 from __future__ import annotations
 
+import math
+
 from ..config import WorkloadConfig
 from ..errors import WorkloadError
 from ..network.topology import Topology
@@ -70,3 +72,9 @@ class HotspotTraffic(TrafficSource):
             pairs.append((src, dst))
             self._next_time += rng.expovariate(rate)
         return self._count(pairs)
+
+    def next_injection_cycle(self, now: int) -> int | float:
+        if self.config.injection_rate <= 0.0:
+            return math.inf
+        next_cycle = math.ceil(self._next_time)
+        return next_cycle if next_cycle > now else now

@@ -107,3 +107,9 @@ class PermutationTraffic(TrafficSource):
             pairs.append((src, self.destinations[src]))
             self._next_time += rng.expovariate(rate)
         return self._count(pairs)
+
+    def next_injection_cycle(self, now: int) -> int | float:
+        if self.config.injection_rate <= 0.0:
+            return math.inf
+        next_cycle = math.ceil(self._next_time)
+        return next_cycle if next_cycle > now else now

@@ -18,6 +18,7 @@ distributed within a specified range".
 from __future__ import annotations
 
 import heapq
+import math
 
 from ..config import WorkloadConfig
 from ..errors import WorkloadError
@@ -149,6 +150,16 @@ class TwoLevelWorkload(TrafficSource):
             else:
                 self.tasks_finished += 1
         return self._count(pairs)
+
+    def next_injection_cycle(self, now: int) -> int | float:
+        # Earliest of the next session arrival (level one) and the next
+        # due packet across the live session heap (level two); before
+        # that, injections() touches neither the RNG nor the heap.
+        horizon = self._next_task_time
+        if self._queue and self._queue[0][0] < horizon:
+            horizon = self._queue[0][0]
+        next_cycle = math.ceil(horizon)
+        return next_cycle if next_cycle > now else now
 
     def spatial_snapshot(self, pairs: list[tuple[int, int]]) -> list[int]:
         """Per-node injection counts for a batch of pairs (Figure 8 aid)."""

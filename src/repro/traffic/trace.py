@@ -10,6 +10,7 @@ is provided for persistence.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 from ..errors import WorkloadError
@@ -29,6 +30,12 @@ class RecordingSource(TrafficSource):
         pairs = self.inner.injections(now)
         self.trace.extend((now, src, dst) for src, dst in pairs)
         return self._count(pairs)
+
+    def next_injection_cycle(self, now: int) -> int | float | None:
+        return self.inner.next_injection_cycle(now)
+
+    def pending_injections(self) -> int:
+        return self.inner.pending_injections()
 
     def save(self, path: str | Path) -> None:
         """Write the trace as JSON."""
@@ -71,3 +78,9 @@ class TraceReplaySource(TrafficSource):
 
     def pending_injections(self) -> int:
         return len(self.trace) - self._pos
+
+    def next_injection_cycle(self, now: int) -> int | float:
+        if self._pos >= len(self.trace):
+            return math.inf
+        next_cycle = self.trace[self._pos][0]
+        return next_cycle if next_cycle > now else now

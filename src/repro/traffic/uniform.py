@@ -11,6 +11,8 @@ ablations.
 
 from __future__ import annotations
 
+import math
+
 from ..config import WorkloadConfig
 from ..network.topology import Topology
 from .base import TrafficSource
@@ -40,3 +42,11 @@ class UniformRandomTraffic(TrafficSource):
             pairs.append((src, dst))
             self._next_time += rng.expovariate(rate)
         return self._count(pairs)
+
+    def next_injection_cycle(self, now: int) -> int | float:
+        if self.config.injection_rate <= 0.0:
+            return math.inf
+        # First integer cycle where `_next_time <= now` holds; injections()
+        # is a pure no-op (no RNG draws) at every cycle before it.
+        next_cycle = math.ceil(self._next_time)
+        return next_cycle if next_cycle > now else now

@@ -67,6 +67,13 @@ def trace_simulator(
     return simulator
 
 
+@pytest.fixture(autouse=True)
+def _sweep_cache_off(monkeypatch):
+    """Keep tests hermetic: no on-disk sweep result reuse across tests or
+    runs unless a test opts back in (by re-setting REPRO_CACHE itself)."""
+    monkeypatch.setenv("REPRO_CACHE", "off")
+
+
 @pytest.fixture
 def mesh3_config():
     return small_config()

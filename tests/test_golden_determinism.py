@@ -128,3 +128,35 @@ class TestSerialParallelEquivalence:
             config, rates, policies, processes=2
         )
         assert serial == parallel
+
+
+class TestGoldenSweepCache:
+    """The on-disk sweep cache must not perturb golden results: a cached
+    re-run returns the bit-identical points without simulating a cycle."""
+
+    def test_cached_rerun_is_bit_identical_and_simulation_free(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.harness import cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        cache_mod.reset_cache()
+        try:
+            config = small_config(rate=0.2, warmup=200, measure=800)
+            rates = (0.2, 0.5)
+            policies = {
+                "none": DVSControlConfig(policy="none"),
+                "history": DVSControlConfig(policy="history"),
+            }
+            first = compare_policies(config, rates, policies)
+
+            def boom(*args, **kwargs):  # pragma: no cover - must never run
+                raise AssertionError("cached re-run simulated a config")
+
+            monkeypatch.setattr("repro.harness.backends.run_simulation", boom)
+            second = compare_policies(config, rates, policies)
+            assert second == first
+            cache = cache_mod.get_cache()
+            assert cache.hits == len(rates) * len(policies)
+        finally:
+            cache_mod.reset_cache()

@@ -166,3 +166,70 @@ class TestFactory:
     def test_unknown(self):
         with pytest.raises(ConfigError):
             make_routing("magic", Topology(4, 2), 2)
+
+
+class TestBoundedCaches:
+    """The per-query caches honor their documented size bound: querying
+    more pairs than the limit evicts rather than growing without bound,
+    and every answer (cached, evicted-then-recomputed) stays correct."""
+
+    def test_dor_cache_respects_limit(self, monkeypatch):
+        monkeypatch.setattr(DimensionOrderRouting, "_TABLE_LIMIT", 0)
+        monkeypatch.setattr(DimensionOrderRouting, "_CACHE_LIMIT", 4)
+        topology = Topology(3, 2)
+        routing = DimensionOrderRouting(topology, 2)
+        assert routing._table is None
+        pairs = [
+            (src, dst)
+            for src in range(topology.node_count)
+            for dst in range(topology.node_count)
+            if src != dst
+        ]
+        assert len(pairs) > 4
+        reference = DimensionOrderRouting(Topology(3, 2), 2)
+        for sweep in range(2):  # second sweep re-queries evicted pairs
+            for src, dst in pairs:
+                assert routing.route_port(src, dst) == (
+                    reference._compute_route_port(src, dst)
+                )
+                assert len(routing._route_cache) <= 4
+
+    def test_dor_cache_hits_do_not_evict(self, monkeypatch):
+        monkeypatch.setattr(DimensionOrderRouting, "_TABLE_LIMIT", 0)
+        monkeypatch.setattr(DimensionOrderRouting, "_CACHE_LIMIT", 4)
+        routing = DimensionOrderRouting(Topology(3, 2), 2)
+        for _ in range(10):
+            routing.route_port(0, 1)
+        assert len(routing._route_cache) == 1
+
+    def test_adaptive_candidate_cache_respects_limit(self, monkeypatch):
+        monkeypatch.setattr(MinimalAdaptiveRouting, "_CACHE_LIMIT", 4)
+        topology = Topology(3, 2)
+        routing = MinimalAdaptiveRouting(topology, 2)
+        reference = MinimalAdaptiveRouting(Topology(3, 2), 2)
+        pairs = [
+            (src, dst)
+            for src in range(topology.node_count)
+            for dst in range(topology.node_count)
+            if src != dst
+        ]
+        for sweep in range(2):
+            for src, dst in pairs:
+                assert routing.candidates(src, dst) == (
+                    reference._compute_candidates(src, dst)
+                )
+                assert len(routing._candidate_cache) <= 4
+
+    def test_full_simulation_under_tiny_cache_limits(self, monkeypatch):
+        """Bit-identity sanity: eviction pressure never changes routes."""
+        from repro.harness.serialization import to_json
+        from repro.network.simulator import Simulator
+
+        from .conftest import small_config
+
+        config = small_config(rate=0.3, warmup=200, measure=600)
+        baseline = to_json(Simulator(config).run())
+        monkeypatch.setattr(DimensionOrderRouting, "_TABLE_LIMIT", 0)
+        monkeypatch.setattr(DimensionOrderRouting, "_CACHE_LIMIT", 2)
+        squeezed = to_json(Simulator(config).run())
+        assert squeezed == baseline

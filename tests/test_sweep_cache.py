@@ -1,0 +1,170 @@
+"""Tests for the content-addressed on-disk sweep result cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness import cache as cache_mod
+from repro.harness.backends import ProcessPoolBackend, SerialBackend
+from repro.harness.cache import SweepCache
+from repro.harness.sweep import rate_sweep
+from repro.cli import main
+
+from .conftest import small_config
+
+
+def _boom(*args, **kwargs):  # pragma: no cover - must never run
+    raise AssertionError("simulated a config that should have been cached")
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point REPRO_CACHE at a fresh directory (overriding the autouse
+    'off') and guarantee no explicit override leaks between tests."""
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    cache_mod.reset_cache()
+    yield tmp_path
+    cache_mod.reset_cache()
+
+
+class TestCacheSelection:
+    def test_env_off_disables(self, monkeypatch):
+        cache_mod.reset_cache()
+        for value in ("off", "0", "no", "none", "disabled", "OFF"):
+            monkeypatch.setenv("REPRO_CACHE", value)
+            assert cache_mod.get_cache() is None
+
+    def test_env_path_selects_directory(self, cache_dir):
+        cache = cache_mod.get_cache()
+        assert cache is not None
+        assert cache.root == cache_dir
+
+    def test_unset_env_uses_xdg_default(self, monkeypatch, tmp_path):
+        cache_mod.reset_cache()
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = cache_mod.cache_from_env()
+        assert cache is not None
+        assert cache.root == tmp_path / "repro" / "sweeps"
+
+    def test_set_cache_overrides_env(self, cache_dir, tmp_path):
+        override = SweepCache(tmp_path / "elsewhere")
+        cache_mod.set_cache(override)
+        assert cache_mod.get_cache() is override
+        cache_mod.set_cache(None)
+        assert cache_mod.get_cache() is None
+        cache_mod.reset_cache()
+        assert cache_mod.get_cache() is not None
+
+    def test_counters_accumulate_per_root(self, cache_dir):
+        assert cache_mod.get_cache() is cache_mod.get_cache()
+
+
+class TestCachedSweeps:
+    def test_second_run_is_all_hits_and_simulation_free(
+        self, cache_dir, monkeypatch
+    ):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        rates = (0.2, 0.4)
+        first = rate_sweep(config, rates)
+        cache = cache_mod.get_cache()
+        assert (cache.hits, cache.misses) == (0, 2)
+        # A re-run must be answered purely from disk.
+        monkeypatch.setattr("repro.harness.backends.run_simulation", _boom)
+        second = rate_sweep(config, rates)
+        assert second == first
+        assert (cache.hits, cache.misses) == (2, 2)
+
+    def test_results_identical_with_and_without_cache(
+        self, cache_dir, monkeypatch
+    ):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cached = rate_sweep(config, (0.3,))
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        uncached = rate_sweep(config, (0.3,))
+        assert cached == uncached
+
+    def test_pool_backend_uses_the_cache(self, cache_dir, monkeypatch):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        backend = ProcessPoolBackend(2, chunksize=1)
+        first = rate_sweep(config, (0.2, 0.4), backend=backend)
+        monkeypatch.setattr("repro.harness.backends.run_simulation", _boom)
+        # Serial backend hits entries written by the pooled run.
+        second = rate_sweep(config, (0.2, 0.4), backend=SerialBackend())
+        assert second == first
+
+    def test_different_seed_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        rate_sweep(config, (0.2,))
+        rate_sweep(small_config(rate=0.2, warmup=200, measure=600, seed=2), (0.2,))
+        cache = cache_mod.get_cache()
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+
+class TestEntryIntegrity:
+    def test_epoch_mismatch_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        old = SweepCache(cache_dir, epoch="some-older-epoch")
+        old.store(config, "stale-result")
+        assert cache_mod.get_cache().load(config) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        cache.store(config, "fine")
+        path = cache.entry_path(config)
+        path.write_bytes(b"not a pickle")
+        assert cache.load(config) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        cache.store(config, "fine")
+        path = cache.entry_path(config)
+        path.write_bytes(
+            pickle.dumps({"fingerprint": "something-else", "result": "wrong"})
+        )
+        assert cache.load(config) is None
+
+    def test_store_roundtrip_is_exact(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        payload = {"floats": [0.1, 2.5e-7], "nested": (1, "x")}
+        cache.store(config, payload)
+        assert cache.load(config) == payload
+
+    def test_unwritable_root_degrades_to_no_caching(self, monkeypatch, tmp_path):
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("occupied")
+        cache = SweepCache(blocked / "sub")
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache.store(config, "result")  # must not raise
+        assert cache.load(config) is None
+
+    def test_short_batch_from_backend_raises(self, cache_dir):
+        cache = cache_mod.get_cache()
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        with pytest.raises(ExperimentError):
+            cache.map_cached([config], lambda missing: [])
+
+
+class TestCLIIntegration:
+    def test_sweep_prints_cache_stats(self, cache_dir, capsys):
+        code = main(["sweep", "--rates", "0.2", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep cache:" in out
+        assert "misses" in out
+
+    def test_no_cache_flag_disables_and_resets(self, cache_dir, capsys):
+        code = main(["sweep", "--rates", "0.2", "--scale", "smoke", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep cache: disabled" in out
+        # The override must not leak past the command.
+        assert cache_mod.get_cache() is not None
+        assert not any(cache_dir.rglob("*.pkl"))
