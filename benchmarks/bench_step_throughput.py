@@ -7,6 +7,8 @@ Runs a small matrix of workloads through three kernel variants —
 * ``no-ff``: same dirty-set scheduler, stepping every cycle,
 * ``legacy-scan``: the pre-dirty-set kernel proxy (full router scan every
   cycle, no skipping) — the PR-1 baseline,
+* ``sanitize``: the default kernel with the :class:`NetworkSanitizer`
+  invariant checkers attached (``--sanitize``),
 
 — and reports wall time, simulated cycles/second, skipped-cycle counts, and
 speedups. Results are archived as JSON under ``benchmarks/results/``.
@@ -20,6 +22,9 @@ pytest-benchmark) so CI can run it as a perf smoke test::
 ``--require-fast-forward`` exits non-zero if the fast-forward kernel never
 skipped a cycle on the low-duty scenarios — the guard that keeps the
 optimization from silently rotting into a no-op.
+``--max-sanitize-overhead X`` exits non-zero if the sanitizer-enabled run is
+more than ``X`` times slower than the plain fast-forward run on any
+scenario (the acceptance bar is 2.0 on the tiny matrix).
 
 Reference numbers (8x8, default scale, one warmed repeat, this container):
 low-duty 50-task paper workload without DVS ~13x over legacy-scan; with the
@@ -118,7 +123,7 @@ def build_scenarios(tiny: bool) -> list[Scenario]:
     ]
 
 
-VARIANTS = ("fastforward", "no-ff", "legacy-scan")
+VARIANTS = ("fastforward", "no-ff", "legacy-scan", "sanitize")
 
 
 def run_variant(config: SimulationConfig, variant: str, repeats: int) -> dict:
@@ -126,7 +131,11 @@ def run_variant(config: SimulationConfig, variant: str, repeats: int) -> dict:
     best = None
     simulator = None
     for _ in range(repeats):
-        simulator = Simulator(config, fast_forward=(variant == "fastforward"))
+        simulator = Simulator(
+            config,
+            fast_forward=(variant != "no-ff" and variant != "legacy-scan"),
+            sanitize=(variant == "sanitize"),
+        )
         if variant == "legacy-scan":
             simulator.legacy_scan = True
         start = time.perf_counter()
@@ -156,6 +165,7 @@ def run_scenario(scenario: Scenario, repeats: int) -> dict:
         "variants": timings,
         "speedup_vs_no_ff": timings["no-ff"]["wall_s"] / fast["wall_s"],
         "speedup_vs_legacy": timings["legacy-scan"]["wall_s"] / fast["wall_s"],
+        "sanitize_overhead": timings["sanitize"]["wall_s"] / fast["wall_s"],
     }
 
 
@@ -174,6 +184,11 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless low-duty scenarios actually skipped cycles",
     )
     parser.add_argument(
+        "--max-sanitize-overhead", type=float, default=0.0, metavar="X",
+        help="exit non-zero if sanitize/fastforward wall-time ratio exceeds X "
+             "on any scenario (0 = don't check)",
+    )
+    parser.add_argument(
         "--json", default=str(RESULTS_DIR / "step_throughput.json"),
         help="result JSON path ('' to skip writing)",
     )
@@ -190,7 +205,8 @@ def main(argv: list[str] | None = None) -> int:
             f"({fast['cycles_per_s']/1e3:8.1f} kcyc/s, "
             f"{fast['idle_cycles_skipped']}/{fast['cycles']} skipped)  "
             f"vs no-ff {row['speedup_vs_no_ff']:5.2f}x  "
-            f"vs legacy {row['speedup_vs_legacy']:5.2f}x"
+            f"vs legacy {row['speedup_vs_legacy']:5.2f}x  "
+            f"sanitize {row['sanitize_overhead']:5.2f}x"
         )
 
     report = {
@@ -219,6 +235,25 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print("fast-forward engaged on all low-duty scenarios")
+
+    if args.max_sanitize_overhead > 0:
+        slow = [
+            (row["scenario"], row["sanitize_overhead"])
+            for row in rows
+            if row["sanitize_overhead"] > args.max_sanitize_overhead
+        ]
+        if slow:
+            print(
+                "FAIL: sanitizer overhead above "
+                f"{args.max_sanitize_overhead:.2f}x on: "
+                + ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in slow),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "sanitizer overhead within "
+            f"{args.max_sanitize_overhead:.2f}x on all scenarios"
+        )
     return 0
 
 

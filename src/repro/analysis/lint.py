@@ -1,0 +1,673 @@
+"""repro-lint: repository-specific AST lint rules.
+
+The cycle kernel's performance work (active-router dirty set, event-horizon
+fast-forward, content-addressed sweep cache) made correctness depend on
+contracts that ordinary linters cannot see. This pass encodes them as five
+rules over the stdlib :mod:`ast` (no third-party dependencies):
+
+``R1`` unseeded-randomness-or-wall-clock
+    Simulation-semantics code (``repro/network/``, ``repro/traffic/``,
+    ``repro/core/`` — the DVS state machines live under ``core``) must not
+    call module-level :mod:`random` functions, ``numpy.random`` functions,
+    or wall-clock sources (``time.time``, ``datetime.now``, ...). All
+    randomness flows through a seeded ``random.Random`` instance so runs
+    are bit-reproducible; all time is the simulated router clock.
+
+``R2`` unordered-hot-path-iteration
+    The engine/router hot path (``repro/network/engine.py`` and
+    ``repro/network/router.py``) must not iterate a ``set`` (or
+    ``dict.values()``) directly — iteration order would then depend on
+    hash seeding and insertion history. Wrap the iterable in ``sorted()``.
+
+``R3`` traffic-source-contract
+    Every :class:`~repro.traffic.base.TrafficSource` subclass must
+    override ``next_injection_cycle``: a source relying on the
+    conservative ``None`` default silently disables the quiescence
+    fast-forward for every workload it appears in.
+
+``R4`` observer-skip-safety
+    An observer overriding ``on_cycle`` must either also define
+    ``on_idle_span`` (making it safe to skip quiescent spans) or declare
+    ``unskippable = True`` — an explicit statement that disabling the
+    fast-forward is intended, not an accident.
+
+``R5`` config-not-json-serializable
+    Fields of ``*Config`` dataclasses must be JSON-serializable types
+    (primitives, containers of primitives, other dataclasses). The sweep
+    cache keys on the config's canonical JSON; a field that falls back to
+    ``repr()`` would make the cache key lossy or unstable.
+
+Suppressions
+    Append ``# repro-lint: ignore[R2]`` (or ``ignore[R1,R4]``) to the
+    flagged line. A file whose first ten lines contain
+    ``# repro-lint: skip-file`` is not checked at all. Directories named
+    ``fixtures`` or ``__pycache__`` are skipped unless
+    ``--include-fixtures`` is given (the bundled violation fixtures under
+    ``tests/fixtures/lint/`` rely on this).
+
+Usage::
+
+    python -m repro.analysis.lint src tests              # human output
+    python -m repro.analysis.lint --format json src      # machine output
+
+Exit status is 0 when clean, 1 when violations were found, 2 on usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Rule id -> short name (kept in sync with docs/static_analysis.md).
+RULES = {
+    "R1": "unseeded-randomness-or-wall-clock",
+    "R2": "unordered-hot-path-iteration",
+    "R3": "traffic-source-contract",
+    "R4": "observer-skip-safety",
+    "R5": "config-not-json-serializable",
+}
+
+#: Path fragments selecting the files R1 applies to.
+R1_SCOPE = ("repro/network/", "repro/traffic/", "repro/core/")
+#: File names (under repro/network/) forming the R2 hot path.
+R2_FILES = ("engine.py", "router.py")
+
+#: Wall-clock call chains banned by R1.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+#: random.* attributes that are fine: seeded generator constructors and
+#: state plumbing, not draws from the shared global generator.
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+#: numpy.random constructors that are fine when given an explicit seed.
+_NP_RANDOM_SEEDED_OK = frozenset({"default_rng", "RandomState", "Generator", "SeedSequence"})
+
+#: Annotation names R5 accepts as JSON-serializable leaves.
+_JSON_LEAVES = frozenset({"int", "float", "str", "bool", "None"})
+#: Generic containers R5 accepts (their parameters are checked recursively).
+_JSON_CONTAINERS = frozenset(
+    {"tuple", "list", "dict", "Optional", "Union", "Tuple", "List", "Dict",
+     "Sequence", "Mapping", "FrozenSet", "frozenset"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9,\s]+)\]")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Violation:
+    """One lint finding, sortable into stable report order."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": RULES.get(self.rule, self.rule),
+            "message": self.message,
+        }
+
+
+@dataclasses.dataclass
+class _ClassInfo:
+    """What the rules need to know about one class definition."""
+
+    name: str
+    bases: tuple[str, ...]
+    methods: frozenset[str]
+    assigns: dict[str, ast.expr]
+    is_dataclass: bool
+    node: ast.ClassDef
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    return _dotted(node)
+
+
+class _FileContext:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.display_path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = frozenset(
+                    part.strip().upper() for part in match.group(1).split(",")
+                )
+                self.suppressions[lineno] = rules
+        self.skip_file = any(
+            _SKIP_FILE_RE.search(line) for line in self.lines[:10]
+        )
+        self.classes = self._collect_classes()
+
+    def _collect_classes(self) -> dict[str, _ClassInfo]:
+        classes: dict[str, _ClassInfo] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                name for name in (_dotted(base) for base in node.bases) if name
+            )
+            methods = frozenset(
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            assigns: dict[str, ast.expr] = {}
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            assigns[target.id] = item.value
+                elif isinstance(item, ast.AnnAssign) and item.value is not None:
+                    if isinstance(item.target, ast.Name):
+                        assigns[item.target.id] = item.value
+            is_dataclass = any(
+                (_decorator_name(dec) or "").split(".")[-1] == "dataclass"
+                for dec in node.decorator_list
+            )
+            classes[node.name] = _ClassInfo(
+                node.name, bases, methods, assigns, is_dataclass, node
+            )
+        return classes
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        rules = self.suppressions.get(lineno)
+        return rules is not None and (rule in rules or "ALL" in rules)
+
+    # -- class-hierarchy helpers (per-file; cross-file bases match by name)
+
+    def inherits_from(self, info: _ClassInfo, root: str) -> bool:
+        seen: set[str] = set()
+        stack = list(info.bases)
+        while stack:
+            base = stack.pop()
+            last = base.split(".")[-1]
+            if last == root:
+                return True
+            if last in seen:
+                continue
+            seen.add(last)
+            parent = self.classes.get(last)
+            if parent is not None:
+                stack.extend(parent.bases)
+        return False
+
+    def hierarchy_defines(self, info: _ClassInfo, member: str) -> bool:
+        """Whether *info* or any in-file ancestor defines *member*."""
+        seen: set[str] = set()
+        stack: list[_ClassInfo] = [info]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if member in current.methods or member in current.assigns:
+                return True
+            for base in current.bases:
+                parent = self.classes.get(base.split(".")[-1])
+                if parent is not None:
+                    stack.append(parent)
+        return False
+
+    def hierarchy_assigns_true(self, info: _ClassInfo, attr: str) -> bool:
+        seen: set[str] = set()
+        stack: list[_ClassInfo] = [info]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            value = current.assigns.get(attr)
+            if isinstance(value, ast.Constant) and value.value is True:
+                return True
+            for base in current.bases:
+                parent = self.classes.get(base.split(".")[-1])
+                if parent is not None:
+                    stack.append(parent)
+        return False
+
+
+class Linter:
+    """Parses a file set once, then applies every rule to each file."""
+
+    def __init__(self, *, include_fixtures: bool = False):
+        self.include_fixtures = include_fixtures
+        self._files: list[_FileContext] = []
+        self._errors: list[str] = []
+        #: Names of dataclasses seen anywhere in the file set; fields of a
+        #: ``*Config`` dataclass may reference them (R5) because
+        #: ``to_json`` serializes nested dataclasses recursively.
+        self._dataclass_names: set[str] = set()
+
+    # -- file collection -------------------------------------------------
+
+    def add_paths(self, paths: Iterable[str | Path]) -> None:
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    if self._excluded(file):
+                        continue
+                    self.add_file(file)
+            elif path.suffix == ".py":
+                self.add_file(path)
+            else:
+                self._errors.append(f"{path}: not a Python file or directory")
+
+    def _excluded(self, path: Path) -> bool:
+        parts = set(path.parts)
+        if "__pycache__" in parts or any(p.startswith(".") for p in path.parts):
+            return True
+        return "fixtures" in parts and not self.include_fixtures
+
+    def add_file(self, path: str | Path) -> None:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self._errors.append(f"{path}: unreadable ({exc})")
+            return
+        self.add_source(source, path.as_posix())
+
+    def add_source(self, source: str, path: str) -> None:
+        """Register in-memory *source* under *path* (tests use this)."""
+        try:
+            context = _FileContext(path, source)
+        except SyntaxError as exc:
+            self._errors.append(f"{path}: syntax error: {exc}")
+            return
+        self._files.append(context)
+        self._dataclass_names.update(
+            name for name, info in context.classes.items() if info.is_dataclass
+        )
+
+    @property
+    def errors(self) -> list[str]:
+        """Parse/IO problems (reported separately from rule violations)."""
+        return self._errors
+
+    # -- rule driver -----------------------------------------------------
+
+    def run(self) -> list[Violation]:
+        violations: list[Violation] = []
+        for context in self._files:
+            if context.skip_file:
+                continue
+            for violation in self._check_file(context):
+                if not context.suppressed(violation.line, violation.rule):
+                    violations.append(violation)
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return violations
+
+    def _check_file(self, context: _FileContext) -> Iterator[Violation]:
+        path = context.path
+        if any(fragment in path for fragment in R1_SCOPE):
+            yield from self._rule_r1(context)
+        if "repro/network/" in path and path.rsplit("/", 1)[-1] in R2_FILES:
+            yield from self._rule_r2(context)
+        yield from self._rule_r3(context)
+        yield from self._rule_r4(context)
+        yield from self._rule_r5(context)
+
+    # -- R1: unseeded randomness / wall clock ----------------------------
+
+    def _rule_r1(self, context: _FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            message: str | None = None
+            if name.startswith("random.") and name.split(".", 1)[1] not in _RANDOM_OK:
+                message = (
+                    f"call to the shared global generator ({name}); draw from a "
+                    "seeded random.Random instance instead"
+                )
+            elif name in _WALL_CLOCK:
+                message = (
+                    f"wall-clock read ({name}) in simulation code; use the "
+                    "simulated router clock"
+                )
+            else:
+                for prefix in ("numpy.random.", "np.random."):
+                    if name.startswith(prefix):
+                        tail = name[len(prefix):]
+                        seeded = (
+                            tail in _NP_RANDOM_SEEDED_OK
+                            and bool(node.args or node.keywords)
+                        )
+                        if not seeded:
+                            message = (
+                                f"call to the global numpy generator ({name}); "
+                                "use a seeded Generator"
+                            )
+                        break
+            if message is not None:
+                yield Violation(context.display_path, node.lineno,
+                                node.col_offset, "R1", message)
+
+    # -- R2: unordered iteration on the hot path -------------------------
+
+    def _rule_r2(self, context: _FileContext) -> Iterator[Violation]:
+        setlike = self._collect_setlike_names(context.tree)
+        for node in ast.walk(context.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_expr in iters:
+                message = self._unordered_iter_message(iter_expr, setlike)
+                if message is not None:
+                    yield Violation(context.display_path, iter_expr.lineno,
+                                    iter_expr.col_offset, "R2", message)
+
+    @staticmethod
+    def _collect_setlike_names(tree: ast.AST) -> set[str]:
+        """Names/attribute chains annotated or assigned as sets."""
+        setlike: set[str] = set()
+
+        def annotation_is_set(annotation: ast.expr) -> bool:
+            if isinstance(annotation, ast.Subscript):
+                annotation = annotation.value
+            name = _dotted(annotation)
+            return name is not None and name.split(".")[-1] in ("set", "frozenset", "Set", "FrozenSet")
+
+        def value_is_set(value: ast.expr | None) -> bool:
+            if isinstance(value, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(value, ast.Call):
+                name = _dotted(value.func)
+                return name in ("set", "frozenset")
+            return False
+
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                arguments = node.args
+                for arg in (
+                    *arguments.posonlyargs,
+                    *arguments.args,
+                    *arguments.kwonlyargs,
+                ):
+                    if arg.annotation is not None and annotation_is_set(arg.annotation):
+                        setlike.add(arg.arg)
+            elif isinstance(node, ast.AnnAssign):
+                target = _dotted(node.target)
+                if target and annotation_is_set(node.annotation):
+                    setlike.add(target)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _dotted(target)
+                    if name is None:
+                        continue
+                    if value_is_set(node.value):
+                        setlike.add(name)
+                    else:
+                        source = _dotted(node.value) if node.value is not None else None
+                        if source in setlike:
+                            setlike.add(name)
+        return setlike
+
+    @staticmethod
+    def _unordered_iter_message(
+        iter_expr: ast.expr, setlike: set[str]
+    ) -> str | None:
+        if isinstance(iter_expr, ast.Call):
+            func = _dotted(iter_expr.func)
+            if func == "sorted":
+                return None
+            if isinstance(iter_expr.func, ast.Attribute) and iter_expr.func.attr == "values":
+                return (
+                    "iteration over dict.values() in the hot path; iterate "
+                    "sorted(...) or a deterministic view"
+                )
+            if func in ("set", "frozenset"):
+                return "iteration over a set constructor; wrap in sorted(...)"
+            return None
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            return "iteration over a set literal; wrap in sorted(...)"
+        name = _dotted(iter_expr)
+        if name is not None and name in setlike:
+            return (
+                f"direct iteration over set {name!r} in the hot path; wrap in "
+                "sorted(...) to pin the order"
+            )
+        return None
+
+    # -- R3: TrafficSource contract --------------------------------------
+
+    def _rule_r3(self, context: _FileContext) -> Iterator[Violation]:
+        for info in context.classes.values():
+            if info.name == "TrafficSource":
+                continue
+            if not context.inherits_from(info, "TrafficSource"):
+                continue
+            if self._is_abstract(info):
+                continue
+            if context.hierarchy_defines(info, "next_injection_cycle"):
+                continue
+            yield Violation(
+                context.display_path, info.node.lineno, info.node.col_offset, "R3",
+                f"TrafficSource subclass {info.name!r} does not override "
+                "next_injection_cycle; the conservative default disables "
+                "quiescence fast-forward",
+            )
+
+    @staticmethod
+    def _is_abstract(info: _ClassInfo) -> bool:
+        for item in info.node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for dec in item.decorator_list:
+                    name = _decorator_name(dec) or ""
+                    if name.split(".")[-1] in ("abstractmethod", "abstractproperty"):
+                        return True
+        return False
+
+    # -- R4: observer skip-safety ----------------------------------------
+
+    def _rule_r4(self, context: _FileContext) -> Iterator[Violation]:
+        for info in context.classes.values():
+            if info.name == "Observer":
+                continue
+            if "on_cycle" not in info.methods:
+                continue
+            if not context.inherits_from(info, "Observer"):
+                continue
+            if context.hierarchy_defines(info, "on_idle_span"):
+                continue
+            if context.hierarchy_assigns_true(info, "unskippable"):
+                continue
+            yield Violation(
+                context.display_path, info.node.lineno, info.node.col_offset, "R4",
+                f"observer {info.name!r} overrides on_cycle without "
+                "on_idle_span; define on_idle_span or declare "
+                "'unskippable = True' to document that fast-forward must stop",
+            )
+
+    # -- R5: config dataclass fields must serialize ----------------------
+
+    def _rule_r5(self, context: _FileContext) -> Iterator[Violation]:
+        for info in context.classes.values():
+            if not info.is_dataclass or not info.name.endswith("Config"):
+                continue
+            for item in info.node.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                if isinstance(item.target, ast.Name) and item.target.id.startswith("_"):
+                    continue
+                if item.annotation is not None and _dotted(item.annotation) == "ClassVar":
+                    continue
+                if not self._annotation_serializable(item.annotation):
+                    field = item.target.id if isinstance(item.target, ast.Name) else "?"
+                    yield Violation(
+                        context.display_path, item.lineno, item.col_offset, "R5",
+                        f"field {info.name}.{field} has non-JSON-serializable "
+                        f"annotation {ast.unparse(item.annotation)!r}; the sweep "
+                        "cache key would fall back to repr()",
+                    )
+
+    def _annotation_serializable(self, annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Constant):
+            if annotation.value is None:
+                return True
+            if isinstance(annotation.value, str):
+                try:
+                    parsed = ast.parse(annotation.value, mode="eval").body
+                except SyntaxError:
+                    return False
+                return self._annotation_serializable(parsed)
+            return False
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            return self._annotation_serializable(
+                annotation.left
+            ) and self._annotation_serializable(annotation.right)
+        if isinstance(annotation, ast.Subscript):
+            container = _dotted(annotation.value)
+            if container is None:
+                return False
+            if container == "ClassVar" or container.split(".")[-1] == "ClassVar":
+                return True
+            if container.split(".")[-1] not in _JSON_CONTAINERS:
+                return False
+            slice_node = annotation.slice
+            elements = (
+                list(slice_node.elts)
+                if isinstance(slice_node, ast.Tuple)
+                else [slice_node]
+            )
+            return all(
+                isinstance(element, ast.Constant) and element.value is Ellipsis
+                or self._annotation_serializable(element)
+                for element in elements
+            )
+        name = _dotted(annotation)
+        if name is None:
+            return False
+        last = name.split(".")[-1]
+        if last in _JSON_LEAVES:
+            return True
+        return last in self._dataclass_names
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_paths(
+    paths: Sequence[str | Path], *, include_fixtures: bool = False
+) -> tuple[list[Violation], list[str]]:
+    """Lint *paths*; returns ``(violations, parse_errors)``."""
+    linter = Linter(include_fixtures=include_fixtures)
+    linter.add_paths(paths)
+    return linter.run(), linter.errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repo-specific AST lint rules (see docs/static_analysis.md)",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--include-fixtures", action="store_true",
+        help="also lint directories named 'fixtures' (skipped by default)",
+    )
+    args = parser.parse_args(argv)
+
+    violations, errors = lint_paths(
+        args.paths, include_fixtures=args.include_fixtures
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.as_dict() for v in violations],
+                    "errors": errors,
+                    "rules": RULES,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if not violations and not errors:
+            print("repro-lint: clean")
+        elif violations:
+            counts: dict[str, int] = {}
+            for violation in violations:
+                counts[violation.rule] = counts.get(violation.rule, 0) + 1
+            summary = ", ".join(
+                f"{rule} x{count}" for rule, count in sorted(counts.items())
+            )
+            print(f"repro-lint: {len(violations)} violation(s) ({summary})")
+    if errors:
+        return 2
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

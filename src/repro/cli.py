@@ -28,7 +28,7 @@ from .errors import ReproError
 from .harness import cache as sweep_cache
 from .harness import experiments
 from .harness.backends import make_backend
-from .harness.runner import run_simulation
+from .harness.runner import build_simulator
 from .harness.scales import get_scale
 from .harness.serialization import write_json
 from .harness.sweep import compare_policies, summarize_comparison
@@ -88,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default=None, help="smoke | default | paper")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="write a JSONL trace of DVS transitions to PATH")
+    run.add_argument("--sanitize", action="store_true",
+                     help="attach the network sanitizer (per-cycle "
+                     "conservation invariant checks; slower)")
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="rate sweep, DVS vs non-DVS")
@@ -137,7 +140,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     recorder = TraceRecorder(args.trace) if args.trace else None
     observers = (recorder,) if recorder else ()
-    result = run_simulation(config, observers=observers)
+    simulator = build_simulator(
+        config, observers=observers, sanitize=True if args.sanitize else None
+    )
+    result = simulator.run()
     print(
         render_table(
             ["metric", "value"],
@@ -155,6 +161,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print()
     print(format_power_report(result.power))
+    if simulator.sanitizer is not None:
+        print()
+        print(simulator.sanitizer.describe())
     if recorder is not None:
         recorder.close()
         print(f"\ntrace: {len(recorder.records)} records written to {args.trace}")

@@ -74,7 +74,7 @@ class ProcessPoolBackend(ExecutionBackend):
     serial path (no pool spawn).
     """
 
-    def __init__(self, processes: int = 4, *, chunksize: int | None = None):
+    def __init__(self, processes: int = 4, *, chunksize: int | None = None) -> None:
         if processes < 1:
             raise ExperimentError("need at least one process")
         if chunksize is not None and chunksize < 1:

@@ -56,7 +56,7 @@ _DISABLE_VALUES = frozenset({"0", "off", "no", "none", "disabled", "false"})
 class SweepCache:
     """One on-disk result store plus in-process hit/miss counters."""
 
-    def __init__(self, root: str | Path, *, epoch: str = CODE_EPOCH):
+    def __init__(self, root: str | Path, *, epoch: str = CODE_EPOCH) -> None:
         self.root = Path(root).expanduser()
         self.epoch = epoch
         self.hits = 0
@@ -81,7 +81,7 @@ class SweepCache:
 
     # -- single-entry operations ----------------------------------------
 
-    def load(self, config: SimulationConfig):
+    def load(self, config: SimulationConfig) -> object | None:
         """The cached result for *config*, or ``None`` on any miss."""
         fingerprint = config.fingerprint()
         path = self._path(fingerprint)
@@ -95,7 +95,7 @@ class SweepCache:
             return None
         return entry.get("result")
 
-    def store(self, config: SimulationConfig, result) -> None:
+    def store(self, config: SimulationConfig, result: object) -> None:
         """Persist *result* for *config*; best-effort (never raises OSError)."""
         payload = pickle.dumps(
             {

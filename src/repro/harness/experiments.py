@@ -118,7 +118,7 @@ def _profile_figure(
 
 
 def fig3_link_utilization_profile(
-    scale: ExperimentScale = DEFAULT_SCALE, **kwargs
+    scale: ExperimentScale = DEFAULT_SCALE, **kwargs: object
 ) -> FigureResult:
     """Figure 3: link utilization rises with load, then dips at congestion."""
     profiles = utilization_profiles(scale, **kwargs)
@@ -128,7 +128,7 @@ def fig3_link_utilization_profile(
 
 
 def fig4_buffer_utilization_profile(
-    scale: ExperimentScale = DEFAULT_SCALE, **kwargs
+    scale: ExperimentScale = DEFAULT_SCALE, **kwargs: object
 ) -> FigureResult:
     """Figure 4: input-buffer utilization acts as a congestion indicator."""
     profiles = utilization_profiles(scale, **kwargs)
@@ -138,7 +138,7 @@ def fig4_buffer_utilization_profile(
 
 
 def fig5_buffer_age_profile(
-    scale: ExperimentScale = DEFAULT_SCALE, **kwargs
+    scale: ExperimentScale = DEFAULT_SCALE, **kwargs: object
 ) -> FigureResult:
     """Figure 5: input-buffer age mirrors buffer utilization."""
     profiles = utilization_profiles(scale, **kwargs)
@@ -152,7 +152,7 @@ def fig5_buffer_age_profile(
 # ---------------------------------------------------------------------------
 
 
-def fig7_router_power_distribution(scale=None) -> FigureResult:
+def fig7_router_power_distribution(scale: ExperimentScale | None = None) -> FigureResult:
     """Figure 7: links dominate router power (82.4% at the paper's anchors).
 
     The breakdown is an analytical property of the router power profile,

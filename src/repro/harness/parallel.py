@@ -15,6 +15,8 @@ bit-identical to serial ones, point for point.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
 from .backends import make_backend
@@ -23,7 +25,7 @@ from .sweep import SweepPoint, compare_policies, rate_sweep
 
 def parallel_rate_sweep(
     base_config: SimulationConfig,
-    rates,
+    rates: Sequence[float],
     *,
     processes: int = 4,
     chunksize: int | None = None,
@@ -37,7 +39,7 @@ def parallel_rate_sweep(
 
 def parallel_compare_policies(
     base_config: SimulationConfig,
-    rates,
+    rates: Sequence[float],
     policies: dict[str, DVSControlConfig],
     *,
     processes: int = 4,

@@ -45,10 +45,10 @@ class ExperimentScale:
     onoff_sources_per_task: int
     sweep_rates: tuple[float, ...]
 
-    def network(self, **overrides) -> NetworkConfig:
+    def network(self, **overrides: object) -> NetworkConfig:
         return NetworkConfig(radix=self.radix, dimensions=2, **overrides)
 
-    def link(self, **overrides) -> LinkConfig:
+    def link(self, **overrides: object) -> LinkConfig:
         params = dict(
             voltage_transition_s=self.voltage_transition_s,
             frequency_transition_link_cycles=self.frequency_transition_link_cycles,
@@ -56,7 +56,7 @@ class ExperimentScale:
         params.update(overrides)
         return LinkConfig(**params)
 
-    def workload(self, injection_rate: float, **overrides) -> WorkloadConfig:
+    def workload(self, injection_rate: float, **overrides: object) -> WorkloadConfig:
         params = dict(
             kind="two_level",
             injection_rate=injection_rate,

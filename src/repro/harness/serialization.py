@@ -14,7 +14,7 @@ import math
 from pathlib import Path
 
 
-def to_json(obj):
+def to_json(obj: object) -> object:
     """Recursively convert *obj* into JSON-compatible primitives."""
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
@@ -38,7 +38,7 @@ def to_json(obj):
     return repr(obj)
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """Deterministic compact JSON for content addressing.
 
     Keys are sorted and separators fixed, so two structurally equal
@@ -48,7 +48,7 @@ def canonical_json(obj) -> str:
     return json.dumps(to_json(obj), sort_keys=True, separators=(",", ":"))
 
 
-def write_json(obj, path: str | Path) -> Path:
+def write_json(obj: object, path: str | Path) -> Path:
     """Serialize *obj* with :func:`to_json` and write it to *path*."""
     path = Path(path)
     path.write_text(json.dumps(to_json(obj), indent=2))

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
 from ..metrics.throughput import saturation_point
+from ..network.simulator import SimulationResult
 from .backends import ExecutionBackend, default_backend
 from .runner import run_simulation
 
@@ -37,7 +39,7 @@ class SweepPoint:
     transition_count: int
 
     @classmethod
-    def from_result(cls, target_rate: float, result) -> "SweepPoint":
+    def from_result(cls, target_rate: float, result: "SimulationResult") -> "SweepPoint":
         return cls(
             target_rate=target_rate,
             offered_rate=result.offered_rate,
@@ -52,7 +54,7 @@ class SweepPoint:
 
 def rate_sweep(
     base_config: SimulationConfig,
-    rates,
+    rates: Sequence[float],
     *,
     backend: ExecutionBackend | None = None,
 ) -> list[SweepPoint]:
@@ -75,7 +77,7 @@ def rate_sweep(
 
 def compare_policies(
     base_config: SimulationConfig,
-    rates,
+    rates: Sequence[float],
     policies: dict[str, DVSControlConfig],
     *,
     backend: ExecutionBackend | None = None,

@@ -7,7 +7,7 @@ from collections.abc import Sequence
 from ..errors import ExperimentError
 
 
-def _format_cell(value) -> str:
+def _format_cell(value: object) -> str:
     if isinstance(value, float):
         if value != value:  # NaN
             return "nan"

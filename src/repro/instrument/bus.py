@@ -43,7 +43,10 @@ Fast-forward contract: an observer that overrides ``on_cycle`` but not
 kernel's quiescence skipping (the bus tracks these in
 :attr:`InstrumentBus.unskippable_cycle_hooks`). Overriding both opts the
 observer back in: skipped spans arrive through ``on_idle_span`` and
-stepped cycles through ``on_cycle``.
+stepped cycles through ``on_cycle``. An observer that genuinely must see
+every individual cycle declares it by setting ``unskippable = True`` as a
+class attribute — the explicit form repro-lint rule R4 requires — which
+disables skipping even when ``on_idle_span`` is defined.
 """
 
 from __future__ import annotations
@@ -91,6 +94,12 @@ class Observer:
     #: Window size in router cycles for :meth:`on_window_close`; 0 = none.
     window_cycles: int = 0
 
+    #: Set True on a subclass whose ``on_cycle`` must see every individual
+    #: cycle; its presence disables the kernel's quiescence fast-forward.
+    #: (Overriding ``on_cycle`` without ``on_idle_span`` implies the same
+    #: thing, but repro-lint rule R4 requires the intent to be explicit.)
+    unskippable: bool = False
+
     def on_cycle(self, now: int) -> None:
         """Called once per cycle, before the routers step."""
 
@@ -125,7 +134,7 @@ _HOOKS = {
 }
 
 
-def _overrides(observer, hook: str) -> bool:
+def _overrides(observer: Observer, hook: str) -> bool:
     method = getattr(type(observer), hook, None)
     return method is not None and method is not getattr(Observer, hook)
 
@@ -149,7 +158,7 @@ class InstrumentBus:
         "unskippable_cycle_hooks",
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.observers: list[Observer] = []
         self.cycle_hooks: list[Observer] = []
         self.offered_hooks: list[Observer] = []
@@ -195,7 +204,9 @@ class InstrumentBus:
     def _refresh_fast_forward_view(self) -> None:
         spanners = self.idle_span_hooks
         self.unskippable_cycle_hooks = [
-            observer for observer in self.cycle_hooks if observer not in spanners
+            observer
+            for observer in self.cycle_hooks
+            if observer.unskippable or observer not in spanners
         ]
 
     def mark(self, label: str, cycle: int) -> None:

@@ -11,11 +11,17 @@ stays measurement-free and new observables can ride the same seam.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from ..metrics.latency import LatencyCollector
 from ..metrics.timeseries import WindowedSeries
 from ..metrics.utilization import UtilizationProbe
 from ..power.accounting import PowerAccountant
 from .bus import Observer, TransitionEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.channel import NetworkChannel
+    from ..network.packet import Packet
 
 
 class MeasurementMeter(Observer):
@@ -30,7 +36,7 @@ class MeasurementMeter(Observer):
     __slots__ = ("latency", "measuring", "measure_start", "offered", "ejected",
                  "total_ejected")
 
-    def __init__(self, latency: LatencyCollector | None = None):
+    def __init__(self, latency: LatencyCollector | None = None) -> None:
         self.latency = latency if latency is not None else LatencyCollector()
         self.measuring = False
         self.measure_start = 0
@@ -46,11 +52,11 @@ class MeasurementMeter(Observer):
         self.offered = 0
         self.ejected = 0
 
-    def on_packet_offered(self, packet, now: int) -> None:
+    def on_packet_offered(self, packet: Packet, now: int) -> None:
         if self.measuring:
             self.offered += 1
 
-    def on_packet_ejected(self, packet, now: int) -> None:
+    def on_packet_ejected(self, packet: Packet, now: int) -> None:
         self.total_ejected += 1
         if self.measuring:
             self.ejected += 1
@@ -70,7 +76,7 @@ class PowerObserver(Observer):
 
     __slots__ = ("accountant", "ramp_starts_seen")
 
-    def __init__(self, accountant: PowerAccountant):
+    def __init__(self, accountant: PowerAccountant) -> None:
         self.accountant = accountant
         self.ramp_starts_seen = 0
 
@@ -97,11 +103,11 @@ class SeriesObserver(Observer):
     def __init__(
         self,
         window_cycles: int,
-        channels,
+        channels: Sequence[NetworkChannel],
         accountant: PowerAccountant,
         router_clock_hz: float,
         meter: MeasurementMeter,
-    ):
+    ) -> None:
         self.window_cycles = window_cycles
         self.series: dict[str, WindowedSeries] = {
             name: WindowedSeries(window_cycles)
@@ -128,11 +134,11 @@ class SeriesObserver(Observer):
         self._ejected = 0
         self._last_energy = self._total_energy(now)
 
-    def on_packet_offered(self, packet, now: int) -> None:
+    def on_packet_offered(self, packet: Packet, now: int) -> None:
         if self._meter.measuring:
             self._offered += 1
 
-    def on_packet_ejected(self, packet, now: int) -> None:
+    def on_packet_ejected(self, packet: Packet, now: int) -> None:
         if self._meter.measuring:
             self._ejected += 1
 
@@ -154,7 +160,7 @@ class ProbeObserver(Observer):
 
     __slots__ = ("probe", "window_cycles")
 
-    def __init__(self, probe: UtilizationProbe):
+    def __init__(self, probe: UtilizationProbe) -> None:
         self.probe = probe
         self.window_cycles = probe.window_cycles
 

@@ -39,7 +39,7 @@ class TraceRecorder(Observer):
 
     __slots__ = ("path", "records", "_closed")
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         if self.path is not None and not self.path.parent.is_dir():
             # Fail before the simulation runs, not at close() afterwards.
@@ -88,7 +88,7 @@ class TraceRecorder(Observer):
     def __enter__(self) -> "TraceRecorder":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @staticmethod

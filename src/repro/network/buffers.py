@@ -41,6 +41,11 @@ class VCBuffer:
         return self.capacity - len(self.flits)
 
     @property
+    def occupancy(self) -> int:
+        """Flits currently buffered (the sanitizer-facing spelling)."""
+        return len(self.flits)
+
+    @property
     def is_empty(self) -> bool:
         return not self.flits
 

@@ -97,6 +97,7 @@ class SimulationEngine:
         traffic=None,
         bus: InstrumentBus | None = None,
         fast_forward: bool = True,
+        sanitize: bool = False,
     ):
         self.config = config
         self.bus = bus if bus is not None else InstrumentBus()
@@ -198,6 +199,15 @@ class SimulationEngine:
             traffic = make_traffic(self.topology, config.workload)
         self.traffic = traffic
 
+        #: The attached :class:`~repro.analysis.sanitizer.NetworkSanitizer`
+        #: when ``sanitize=True``, else None. Lazily imported so the kernel
+        #: has no analysis dependency unless asked for one.
+        self.sanitizer = None
+        if sanitize:
+            from ..analysis.sanitizer import NetworkSanitizer
+
+            self.sanitizer = NetworkSanitizer(self).attach()
+
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
@@ -214,6 +224,28 @@ class SimulationEngine:
             self._events[cycle] = [event]
         else:
             bucket.append(event)
+
+    def iter_scheduled_events(self):
+        """Yield every pending ``(cycle, event)`` pair, unordered.
+
+        A read-only view over the bucket map for diagnostics and the
+        network sanitizer's conservation checks; callers must not mutate
+        the event tuples or schedule/dispatch while iterating.
+        """
+        for cycle, bucket in self._events.items():
+            for event in bucket:
+                yield cycle, event
+
+    def iter_active_routers(self):
+        """Yield the routers in the current active set, in node order.
+
+        A read-only view over the dirty-set scheduler for diagnostics
+        and the network sanitizer: a router outside the set performed no
+        work last cycle, so checker state derived from it is unchanged.
+        """
+        routers = self.routers
+        for node in sorted(self._active):
+            yield routers[node]
 
     def _on_packet_ejected(self, packet: Packet, now: int) -> None:
         for observer in self.bus.ejected_hooks:

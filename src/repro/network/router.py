@@ -186,6 +186,21 @@ class Router:
         return not (self.total_buffered or self.inj_flits or self.inj_queue)
 
     # ------------------------------------------------------------------
+    # Read-only views (diagnostics / network sanitizer)
+    # ------------------------------------------------------------------
+
+    def iter_vc_states(self):
+        """Yield ``(in_port, vc, InputVC)`` for every input VC."""
+        return iter(self._vc_scan)
+
+    def unsent_source_flits(self) -> int:
+        """Flits offered at this node but not yet in the input buffers:
+        whole packets queued at the source plus the unsent remainder of a
+        partially injected packet."""
+        queued = sum(packet.size_flits for packet in self.inj_queue)
+        return queued + len(self.inj_flits) - self.inj_pos
+
+    # ------------------------------------------------------------------
     # Event handlers (called by the simulator dispatch loop)
     # ------------------------------------------------------------------
 

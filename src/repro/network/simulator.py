@@ -77,10 +77,17 @@ class Simulator(SimulationEngine):
         series_window: int = 0,
         bus: InstrumentBus | None = None,
         fast_forward: bool = True,
+        sanitize: bool = False,
     ):
         if series_window < 0:
             raise ConfigError("series window cannot be negative")
-        super().__init__(config, traffic=traffic, bus=bus, fast_forward=fast_forward)
+        super().__init__(
+            config,
+            traffic=traffic,
+            bus=bus,
+            fast_forward=fast_forward,
+            sanitize=sanitize,
+        )
         self.series_window = series_window
 
         self.accountant = PowerAccountant(

@@ -59,6 +59,16 @@ class TrafficSource(ABC):
         """
         return None
 
+    def checkpoint(self) -> tuple[object, ...]:
+        """An equality-comparable token over all mutable source state.
+
+        The network sanitizer snapshots this around
+        :meth:`next_injection_cycle` calls to verify the method's
+        side-effect-freedom contract. Subclasses with mutable state beyond
+        the base RNG and counter should extend the tuple.
+        """
+        return (self.packets_offered, self.rng.getstate())
+
     def _count(self, pairs: list[tuple[int, int]]) -> list[tuple[int, int]]:
         """Bookkeeping helper for subclasses: tally and pass through."""
         self.packets_offered += len(pairs)

@@ -1,0 +1,38 @@
+"""Fixture: R3 (traffic contract), R4 (observer skip-safety), R5 (config)."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.instrument.bus import Observer
+from repro.traffic.base import TrafficSource
+
+
+class UnpredictableTraffic(TrafficSource):  # one R3 violation
+    def injections(self, now):
+        return []
+
+
+class PredictableTraffic(TrafficSource):  # clean: overrides the predictor
+    def injections(self, now):
+        return []
+
+    def next_injection_cycle(self, now):
+        return now + 1
+
+
+class GreedyObserver(Observer):  # one R4 violation
+    def on_cycle(self, now):
+        pass
+
+
+class DeclaredObserver(Observer):  # clean: documents the intent
+    unskippable = True
+
+    def on_cycle(self, now):
+        pass
+
+
+@dataclass(frozen=True)
+class CallbackConfig:  # one R5 violation: a callable cannot be a cache key
+    rate: float = 1.0
+    on_drop: Callable[[int], None] = print

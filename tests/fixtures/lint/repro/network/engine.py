@@ -1,0 +1,26 @@
+"""Fixture: R1 (wall clock + global RNG) and R2 (unordered hot-path iteration).
+
+The path mimics the real hot-path module so the path-scoped rules fire.
+"""
+
+import random
+import time
+
+
+def stamp_cycle() -> float:
+    return time.time()  # one R1 violation: wall-clock read
+
+
+def jittered_cycle(now: int) -> float:
+    # Suppressed R1: must NOT be reported.
+    return now + random.random()  # repro-lint: ignore[R1]
+
+
+def step_active(active: set[int], routers: list) -> None:
+    for node in active:  # one R2 violation: unsorted set iteration
+        routers[node].step()
+
+
+def step_active_sorted(active: set[int], routers: list) -> None:
+    for node in sorted(active):  # clean: sorted() pins the order
+        routers[node].step()

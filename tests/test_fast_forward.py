@@ -152,6 +152,8 @@ class TestActiveRouterSet:
 class _EveryCycleCounter(Observer):
     """Needs every cycle: overriding on_cycle alone blocks skipping."""
 
+    unskippable = True
+
     def __init__(self):
         self.cycles = 0
 

@@ -20,6 +20,8 @@ from .conftest import small_config
 
 
 class CycleCounter(Observer):
+    unskippable = True
+
     def __init__(self):
         self.cycles = 0
 

@@ -1,0 +1,221 @@
+"""repro-lint: the repo stays clean, the fixtures stay caught."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import RULES, Linter, Violation, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def _lint_source(source: str, path: str) -> list[Violation]:
+    linter = Linter(include_fixtures=True)
+    linter.add_source(textwrap.dedent(source), path)
+    assert linter.errors == []
+    return linter.run()
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_have_no_violations(self):
+        violations, errors = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert errors == []
+        assert violations == []
+
+    def test_cli_exit_zero_on_clean_tree(self, capsys):
+        assert main([str(REPO_ROOT / "src")]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+
+class TestFixtureViolations:
+    def test_fixture_trips_every_rule_exactly_once(self):
+        violations, errors = lint_paths([FIXTURES], include_fixtures=True)
+        assert errors == []
+        assert sorted(v.rule for v in violations) == sorted(RULES)
+
+    def test_fixtures_excluded_by_default(self):
+        violations, errors = lint_paths([FIXTURES])
+        assert errors == []
+        assert violations == []
+
+    def test_cli_exit_one_on_fixture(self, capsys):
+        assert main([str(FIXTURES), "--include-fixtures"]) == 1
+        out = capsys.readouterr().out
+        assert "violation(s)" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main([str(FIXTURES), "--include-fixtures", "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == []
+        assert report["rules"] == RULES
+        assert {v["rule"] for v in report["violations"]} == set(RULES)
+        for violation in report["violations"]:
+            assert violation["name"] == RULES[violation["rule"]]
+            assert violation["line"] > 0
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+
+class TestRuleR1:
+    def test_global_random_flagged_only_in_simulation_paths(self):
+        source = """
+            import random
+
+            def pick():
+                return random.random()
+            """
+        assert [v.rule for v in _lint_source(source, "src/repro/traffic/x.py")] == ["R1"]
+        assert _lint_source(source, "src/repro/harness/x.py") == []
+
+    def test_seeded_constructors_and_state_plumbing_allowed(self):
+        source = """
+            import random
+
+            def build(seed):
+                rng = random.Random(seed)
+                state = rng.getstate()
+                rng.setstate(state)
+                return rng
+            """
+        assert _lint_source(source, "src/repro/traffic/x.py") == []
+
+    def test_numpy_global_flagged_seeded_generator_allowed(self):
+        source = """
+            import numpy as np
+
+            def bad():
+                return np.random.rand()
+
+            def ok(seed):
+                return np.random.default_rng(seed)
+            """
+        violations = _lint_source(source, "src/repro/core/x.py")
+        assert [v.rule for v in violations] == ["R1"]
+        assert "numpy" in violations[0].message
+
+    def test_wall_clock_flagged(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """
+        violations = _lint_source(source, "src/repro/network/x.py")
+        assert [v.rule for v in violations] == ["R1"]
+        assert "wall-clock" in violations[0].message
+
+
+class TestRuleR2:
+    def test_unsorted_dirty_set_iteration_caught(self):
+        # The "unsorted dirty-set iteration" mutation kernel: statically
+        # caught before it can ever produce a nondeterministic run.
+        source = """
+            class Engine:
+                def __init__(self):
+                    self._active: set[int] = set()
+
+                def step(self):
+                    for node in self._active:
+                        self.routers[node].step()
+            """
+        violations = _lint_source(source, "src/repro/network/engine.py")
+        assert [v.rule for v in violations] == ["R2"]
+        assert "sorted" in violations[0].message
+
+    def test_sorted_wrapper_and_other_files_pass(self):
+        sorted_source = """
+            def step(active: set[int]):
+                for node in sorted(active):
+                    pass
+            """
+        assert _lint_source(sorted_source, "src/repro/network/engine.py") == []
+        unsorted = """
+            def step(active: set[int]):
+                for node in active:
+                    pass
+            """
+        # Only the hot-path files are in scope for R2.
+        assert _lint_source(unsorted, "src/repro/network/topology.py") == []
+
+    def test_dict_values_iteration_caught(self):
+        source = """
+            def drain(buckets: dict):
+                for bucket in buckets.values():
+                    pass
+            """
+        violations = _lint_source(source, "src/repro/network/router.py")
+        assert [v.rule for v in violations] == ["R2"]
+
+
+class TestRuleR5:
+    def test_unions_containers_and_nested_dataclasses_accepted(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ThresholdSet:
+                low: float = 0.25
+
+            @dataclass(frozen=True)
+            class GoodConfig:
+                level: int | None = None
+                rates: tuple[float, ...] = ()
+                names: dict[str, int] | None = None
+                thresholds: ThresholdSet = ThresholdSet()
+            """
+        assert _lint_source(source, "src/repro/config.py") == []
+
+    def test_arbitrary_object_field_rejected(self):
+        source = """
+            from dataclasses import dataclass
+            from typing import Any
+
+            @dataclass
+            class BadConfig:
+                payload: Any = None
+            """
+        violations = _lint_source(source, "src/repro/config.py")
+        assert [v.rule for v in violations] == ["R5"]
+        assert "BadConfig.payload" in violations[0].message
+
+
+class TestSuppressions:
+    def test_inline_ignore_suppresses_only_that_rule(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: ignore[R1]
+
+            def stamp2():
+                return time.time()
+            """
+        violations = _lint_source(source, "src/repro/network/x.py")
+        assert len(violations) == 1
+        assert violations[0].line == 8
+
+    def test_skip_file_pragma_disables_the_file(self):
+        source = """
+            # repro-lint: skip-file
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert _lint_source(source, "src/repro/network/x.py") == []
+
+    def test_fixture_suppression_example_not_reported(self):
+        violations, _ = lint_paths([FIXTURES], include_fixtures=True)
+        suppressed_lines = [
+            v
+            for v in violations
+            if "jittered_cycle" in v.message or "random.random" in v.message
+        ]
+        assert suppressed_lines == []

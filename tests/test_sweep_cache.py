@@ -152,6 +152,75 @@ class TestEntryIntegrity:
             cache.map_cached([config], lambda missing: [])
 
 
+class TestErrorPaths:
+    def test_truncated_entry_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        cache.store(config, {"rows": list(range(100))})
+        path = cache.entry_path(config)
+        intact = path.read_bytes()
+        for cut in (0, 1, len(intact) // 2, len(intact) - 1):
+            path.write_bytes(intact[:cut])
+            assert cache.load(config) is None, f"truncated at {cut} bytes"
+        path.write_bytes(intact)
+        assert cache.load(config) == {"rows": list(range(100))}
+
+    def test_entry_replaced_by_directory_is_a_miss(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        cache.store(config, "fine")
+        path = cache.entry_path(config)
+        path.unlink()
+        path.mkdir()
+        assert cache.load(config) is None
+
+    def test_concurrent_stores_never_expose_a_torn_entry(self, cache_dir):
+        import threading
+
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        payloads = [{"writer": i, "rows": [i] * 500} for i in range(8)]
+        start = threading.Barrier(len(payloads) + 1)
+        failures: list[str] = []
+
+        def write(payload):
+            start.wait()
+            for _ in range(20):
+                cache.store(config, payload)
+
+        def read():
+            start.wait()
+            for _ in range(200):
+                value = cache.load(config)
+                if value is not None and value not in payloads:
+                    failures.append(f"torn read: {value!r}")
+                    return
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        threads.append(threading.Thread(target=read))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        # The winner is one complete payload, and no temp files linger.
+        assert cache.load(config) in payloads
+        assert not list(cache_dir.rglob(".tmp-*"))
+
+    def test_failed_store_cleans_up_its_temp_file(self, cache_dir, monkeypatch):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.harness.cache.os.replace", boom)
+        cache.store(config, "result")  # swallowed
+        monkeypatch.undo()
+        assert cache.load(config) is None
+        assert not list(cache_dir.rglob(".tmp-*"))
+
+
 class TestCLIIntegration:
     def test_sweep_prints_cache_stats(self, cache_dir, capsys):
         code = main(["sweep", "--rates", "0.2", "--scale", "smoke"])
