@@ -14,6 +14,8 @@ are computed once per process and cached here.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from functools import lru_cache
 from pathlib import Path
 
@@ -21,6 +23,42 @@ from repro.harness.scales import ExperimentScale, get_scale
 from repro.harness.serialization import write_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def add_profile_argument(parser) -> None:
+    """Attach the suite's shared ``--profile`` flag to an argparse parser."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 20 functions by "
+             "cumulative time when the benchmark finishes",
+    )
+
+
+@contextmanager
+def maybe_profile(enabled: bool | None = None, *, limit: int = 20):
+    """Profile the enclosed block when *enabled* (or ``REPRO_PROFILE=1``).
+
+    Standalone scripts pass their ``--profile`` flag; the pytest-benchmark
+    figure benchmarks can leave *enabled* as None and opt in through the
+    ``REPRO_PROFILE`` environment variable instead. Prints cProfile's top
+    *limit* entries sorted by cumulative time.
+    """
+    if enabled is None:
+        enabled = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        print()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(limit)
 
 
 def scale() -> ExperimentScale:

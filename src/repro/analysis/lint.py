@@ -1,9 +1,10 @@
 """repro-lint: repository-specific AST lint rules.
 
 The cycle kernel's performance work (active-router dirty set, event-horizon
-fast-forward, content-addressed sweep cache) made correctness depend on
-contracts that ordinary linters cannot see. This pass encodes them as five
-rules over the stdlib :mod:`ast` (no third-party dependencies):
+fast-forward, content-addressed sweep cache, allocation-free stepping) made
+correctness and performance depend on contracts that ordinary linters cannot
+see. This pass encodes them as six rules over the stdlib :mod:`ast` (no
+third-party dependencies):
 
 ``R1`` unseeded-randomness-or-wall-clock
     Simulation-semantics code (``repro/network/``, ``repro/traffic/``,
@@ -36,6 +37,19 @@ rules over the stdlib :mod:`ast` (no third-party dependencies):
     (primitives, containers of primitives, other dataclasses). The sweep
     cache keys on the config's canonical JSON; a field that falls back to
     ``repr()`` would make the cache key lossy or unstable.
+
+``R6`` hot-path-allocation
+    A function marked ``# repro-hot`` (comment on its ``def`` line or the
+    line directly above) must not allocate containers: no list/dict/set/
+    tuple literals, no comprehensions or generator expressions, no calls
+    to container constructors (``list``, ``dict``, ``set``, ``frozenset``,
+    ``tuple``, ``bytearray``, ``deque``, ``defaultdict``, ``Counter``).
+    Hot functions run millions of times per sweep; per-call allocation is
+    the regression this PR's pooling work removed. Exempt: anything under
+    a ``raise`` statement (error paths may format messages freely) and
+    parallel assignments like ``a, b = x, y`` (CPython compiles small
+    unpackings to stack rotations, no tuple is materialized). The marker
+    is opt-in, so the rule applies in every linted file.
 
 Suppressions
     Append ``# repro-lint: ignore[R2]`` (or ``ignore[R1,R4]``) to the
@@ -72,6 +86,7 @@ RULES = {
     "R3": "traffic-source-contract",
     "R4": "observer-skip-safety",
     "R5": "config-not-json-serializable",
+    "R6": "hot-path-allocation",
 }
 
 #: Path fragments selecting the files R1 applies to.
@@ -115,6 +130,23 @@ _JSON_CONTAINERS = frozenset(
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9,\s]+)\]")
 _SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+#: Marker opting a function into R6 (on the def line or the line above).
+_HOT_RE = re.compile(r"#\s*repro-hot\b")
+
+#: Bare or dotted constructor names R6 treats as container allocations.
+_R6_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "frozenset", "tuple", "bytearray", "deque",
+     "defaultdict", "Counter", "OrderedDict"}
+)
+#: Literal/comprehension node types R6 flags, with human-readable labels.
+_R6_LITERALS: tuple[tuple[type, str], ...] = (
+    (ast.ListComp, "list comprehension"),
+    (ast.SetComp, "set comprehension"),
+    (ast.DictComp, "dict comprehension"),
+    (ast.GeneratorExp, "generator expression"),
+    (ast.Dict, "dict literal"),
+    (ast.Set, "set literal"),
+)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -362,6 +394,7 @@ class Linter:
         yield from self._rule_r3(context)
         yield from self._rule_r4(context)
         yield from self._rule_r5(context)
+        yield from self._rule_r6(context)
 
     # -- R1: unseeded randomness / wall clock ----------------------------
 
@@ -561,6 +594,76 @@ class Linter:
                         f"annotation {ast.unparse(item.annotation)!r}; the sweep "
                         "cache key would fall back to repr()",
                     )
+
+    # -- R6: no container allocation in # repro-hot functions ------------
+
+    def _rule_r6(self, context: _FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._is_hot_function(context, node):
+                continue
+            yield from self._r6_scan(context, node.name, node.body)
+
+    @staticmethod
+    def _is_hot_function(
+        context: _FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """The ``# repro-hot`` marker sits on the def line or just above."""
+        lines = context.lines
+        def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        above = lines[node.lineno - 2] if node.lineno >= 2 else ""
+        return bool(_HOT_RE.search(def_line) or _HOT_RE.search(above))
+
+    def _r6_scan(
+        self, context: _FileContext, func_name: str, body: Sequence[ast.stmt]
+    ) -> Iterator[Violation]:
+        """Walk *body* flagging allocations, skipping ``raise`` subtrees."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Raise):
+                # Error paths may allocate freely: they run at most once.
+                continue
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+            ):
+                # Parallel assignment (``a, b = x, y``): CPython unpacks
+                # on the stack, no tuple is built. Scan the element
+                # expressions but not the value tuple itself.
+                stack.extend(node.targets[0].elts)
+                stack.extend(node.value.elts)
+                continue
+            message = self._r6_allocation_message(node)
+            if message is not None:
+                yield Violation(
+                    context.display_path, node.lineno, node.col_offset, "R6",
+                    f"{message} allocates in # repro-hot function "
+                    f"{func_name!r}; hoist it to setup code or reuse a "
+                    "pooled/preallocated container",
+                )
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _r6_allocation_message(node: ast.AST) -> str | None:
+        for node_type, label in _R6_LITERALS:
+            if isinstance(node, node_type):
+                return label
+        if isinstance(node, (ast.List, ast.Tuple)):
+            if isinstance(node.ctx, ast.Load):
+                return (
+                    "list literal" if isinstance(node, ast.List)
+                    else "tuple literal"
+                )
+            return None
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name is not None and name.split(".")[-1] in _R6_CONSTRUCTORS:
+                return f"{name}() constructor call"
+        return None
 
     def _annotation_serializable(self, annotation: ast.expr) -> bool:
         if isinstance(annotation, ast.Constant):

@@ -316,9 +316,9 @@ class DVSChannel:
         """
         return self.functional and self.busy_until < now + 1
 
-    def send_flit(self, now: float) -> float:
+    def send_flit(self, now: float) -> float:  # repro-hot
         """Accept one flit; return the cycle its serialization completes."""
-        if not self.functional:
+        if self.locked:  # == not functional, without the property call
             raise LinkStateError("flit sent while link is locked out")
         if self.busy_until >= now + 1:
             raise LinkStateError(

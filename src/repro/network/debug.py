@@ -34,14 +34,13 @@ def _in_flight(simulator: SimulationEngine):
     """(arrivals, credits) keyed by their destination coordinates."""
     arrivals: dict[tuple[int, int, int], int] = {}
     credits: dict[tuple[int, int, int], int] = {}
-    for bucket in simulator._events.values():
-        for event in bucket:
-            if event[0] == EVENT_ARRIVAL:
-                key = (event[1], event[2], event[3])  # node, port, vc
-                arrivals[key] = arrivals.get(key, 0) + 1
-            elif event[0] == EVENT_CREDIT:
-                key = (event[1], event[2], event[3])  # node, out_port, vc
-                credits[key] = credits.get(key, 0) + 1
+    for _cycle, event in simulator.iter_scheduled_events():
+        if event[0] == EVENT_ARRIVAL:
+            key = (event[1], event[2], event[3])  # node, port, vc
+            arrivals[key] = arrivals.get(key, 0) + 1
+        elif event[0] == EVENT_CREDIT:
+            key = (event[1], event[2], event[3])  # node, out_port, vc
+            credits[key] = credits.get(key, 0) + 1
     return arrivals, credits
 
 
@@ -133,12 +132,11 @@ def _audit_event_counters(simulator: SimulationEngine) -> list[str]:
     """The O(1) drain counters must agree with a full event-queue scan."""
     violations = []
     transport = arrivals = 0
-    for bucket in simulator._events.values():
-        for event in bucket:
-            if event[0] != EVENT_PHASE:
-                transport += 1
-                if event[0] == EVENT_ARRIVAL:
-                    arrivals += 1
+    for _cycle, event in simulator.iter_scheduled_events():
+        if event[0] != EVENT_PHASE:
+            transport += 1
+            if event[0] == EVENT_ARRIVAL:
+                arrivals += 1
     if simulator._pending_transport != transport:
         violations.append(
             f"pending-transport counter {simulator._pending_transport} != "

@@ -1,8 +1,8 @@
 """The pure cycle kernel.
 
 :class:`SimulationEngine` owns exactly three things: topology construction
-(routers, DVS channels, per-port controllers, traffic), the event bucket
-map, and the per-cycle step. It holds **no measurement state** — every
+(routers, DVS channels, per-port controllers, traffic), the event queue,
+and the per-cycle step. It holds **no measurement state** — every
 observable (latency, power, series, profiles, traces) attaches through the
 :class:`~repro.instrument.bus.InstrumentBus` passed at construction, and
 the measurement-phase facade lives in
@@ -25,36 +25,57 @@ cycle the kernel
    allocation, injection); tail-flit ejections reach observers through
    ``on_packet_ejected``.
 
-Two scheduling optimizations make the kernel event-driven where the
-workload allows, without changing a single simulated bit (see
-``docs/performance.md`` for the bit-identity argument):
+Three scheduling structures make the kernel event-driven and allocation-
+free where the workload allows, without changing a single simulated bit
+(see ``docs/performance.md`` for the bit-identity argument of each):
 
-* **Active-router set.** Routers join a dirty set when they gain work
-  (a flit arrival or a source-queue offer — the only engine-visible ways
-  a router becomes non-idle) and leave it when their own step empties
-  them. The per-cycle loop iterates the set in ascending node order,
-  which is exactly the order of the old full scan over all N routers.
-* **Quiescence fast-forward.** When the active set is empty, nothing can
+* **Calendar-queue event dispatch.** Nearly every ARRIVAL/CREDIT event
+  lands within a small bounded horizon (pipeline latency + worst-case
+  serialization + credit delay), so events live in a power-of-two ring of
+  reusable lists indexed by ``cycle & ring_mask`` — no per-cycle dict
+  hash/pop/allocation. Far-future events (DVS phase boundaries at slow
+  levels) go to a spill dict whose minimum key is tracked in
+  ``_spill_min``, making the per-cycle spill probe one integer compare.
+  For any target cycle, every spill-scheduled event was scheduled at an
+  earlier ``now`` than every ring-scheduled event (``now`` is monotonic),
+  so dispatching the spill bucket first reproduces the old single-bucket
+  insertion order exactly.
+* **Incremental active-router list.** Routers join the active list when
+  they gain work (a flit arrival or a source-queue offer — the only
+  engine-visible ways a router becomes non-idle) and leave it when their
+  own step empties them. Membership is a flags ``bytearray``; order is an
+  insertion-maintained ascending node list, compacted in place during the
+  stepping loop — exactly the order of the old full scan over all N
+  routers, with no per-cycle ``sorted()``.
+* **Quiescence fast-forward.** When the active list is empty, nothing can
   happen before the next *event horizon*: the earliest of the next
-  bucket-map event, the next traffic injection
+  scheduled event (ring or spill), the next traffic injection
   (:meth:`~repro.traffic.base.TrafficSource.next_injection_cycle`), the
   next DVS history-window boundary, and the next observer window
   boundary. The kernel jumps ``now`` straight there, notifying
   ``on_idle_span`` observers of the skipped range. Observers that need
   every cycle (``on_cycle`` without ``on_idle_span``) disable skipping.
 
-Events live in a bucket map keyed by cycle, which outperforms a heap when
-almost every future cycle holds events. The kernel additionally maintains
-outstanding-event counters (transport events, arrivals, and source-queue
-packets), updated at schedule/dispatch/offer/inject, so drain-progress
-checks are O(1) instead of walking every pending bucket and router.
-Inter-router flit traversal is "emulated with message passing" exactly as
-in the paper: a launched flit becomes an arrival event ``pipeline latency
-+ serialization`` cycles later, so slow links lengthen hops and throttle
-bandwidth.
+Steady-state stepping allocates ~zero objects: event records are 5-slot
+lists drawn from a free list and recycled after dispatch, and
+:class:`~repro.network.packet.Flit` objects are pooled (released on
+ejection, reacquired at injection). Setting :attr:`legacy_scan` restores
+the PR-3 kernel shape — dict-bucket events, full router scan, no pooling —
+for in-process A/B benchmarks.
+
+The kernel additionally maintains outstanding-event counters (transport
+events, arrivals, and source-queue packets), updated at
+schedule/dispatch/offer/inject, so drain-progress checks are O(1) instead
+of walking every pending bucket and router. Inter-router flit traversal is
+"emulated with message passing" exactly as in the paper: a launched flit
+becomes an arrival event ``pipeline latency + serialization`` cycles
+later, so slow links lengthen hops and throttle bandwidth.
 """
 
 from __future__ import annotations
+
+import math
+from bisect import insort
 
 from ..config import DVSControlConfig, SimulationConfig
 from ..core.controller import PortDVSController
@@ -73,6 +94,9 @@ from .packet import Packet
 from .router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE, Router
 from .routing import make_routing
 from .topology import Topology
+
+#: Sentinel "no spill events": compares greater than any real cycle.
+_NEVER = math.inf
 
 
 def _build_policy(dvs: DVSControlConfig) -> DVSPolicy:
@@ -104,9 +128,12 @@ class SimulationEngine:
         #: Allow quiescence skipping (bit-identical either way; set False
         #: to force cycle-by-cycle stepping, e.g. for A/B benchmarks).
         self.fast_forward = fast_forward
-        #: Benchmark escape hatch: emulate the pre-active-set kernel that
-        #: scanned all N routers every cycle.
-        self.legacy_scan = False
+        self._legacy_scan = False
+        # Per-cycle constants, prebound so step() skips the config
+        # attribute chains (kept in sync by the legacy_scan setter).
+        self._dispatch_fn = self._dispatch
+        self._flits_per_packet = config.network.flits_per_packet
+        self._history_window = config.dvs.history_window
         #: Diagnostics: cycles and spans elided by quiescence skipping.
         self.idle_cycles_skipped = 0
         self.idle_spans = 0
@@ -121,19 +148,48 @@ class SimulationEngine:
         regulator = link.build_regulator()
         timing = link.build_timing()
 
-        self._events: dict[int, list[tuple]] = {}
+        # Calendar queue: a ring slot per near-future cycle, spill dict
+        # beyond. The ring must cover the worst-case transport horizon —
+        # pipeline latency plus level-0 serialization plus the credit
+        # delay — so steady-state traffic never touches the spill dict.
+        slowest_serialization = math.ceil(
+            table.serialization_ratio(0, net.router_clock_hz)
+        )
+        near_horizon = net.pipeline_latency + slowest_serialization + net.credit_delay
+        ring_size = 32
+        while ring_size <= near_horizon:
+            ring_size *= 2
+        self._ring: list[list] = [[] for _ in range(ring_size)]
+        self._ring_mask = ring_size - 1
+        #: cycle -> events, for targets at least ring_size cycles out.
+        self._spill: dict[int, list] = {}
+        self._spill_min: int | float = _NEVER
+        #: Free lists for 5-slot event records and Flit objects; shared
+        #: with every router. Recycled records may keep a stale payload
+        #: reference alive until reuse — bounded by the pool size, and the
+        #: flits they point at are themselves pooled.
+        self._event_pool: list[list] = []
+        self._flit_pool: list = []
+
         self.now = 0
-        # Outstanding-event counters, maintained at schedule/dispatch so
-        # drain checks never walk the bucket map.
-        self._pending_transport = 0
-        self._pending_arrivals = 0
+        # Outstanding-event counters ``[transport, arrivals, ring_count]``,
+        # maintained at schedule/dispatch so drain checks never walk the
+        # event queue. A shared mutable list rather than three attributes
+        # so fast-queue-bound routers (see Router.bind_fast_queue) can
+        # maintain them without calling back into the engine; read them
+        # through the _pending_transport/_pending_arrivals/_ring_count
+        # properties.
+        self._counters = [0, 0, 0]
         # Source-queue packets not yet fully in the network, maintained at
         # offer/inject so drain checks never walk the routers.
         self._pending_source = 0
-        #: Nodes whose router has work this cycle == exactly the non-idle
-        #: routers (they gain work only through engine-visible arrivals and
-        #: offers, and lose it only in their own step).
-        self._active: set[int] = set()
+        #: Active-router scheduler state: ``_active_flags[node]`` is 1
+        #: exactly when *node* is in ``_active_list``, which is kept in
+        #: ascending node order == exactly the non-idle routers (they gain
+        #: work only through engine-visible arrivals and offers, and lose
+        #: it only in their own step).
+        self._active_flags = bytearray(self.topology.node_count)
+        self._active_list: list[int] = []
 
         self.routers = [
             Router(
@@ -146,9 +202,13 @@ class SimulationEngine:
                 schedule=self.schedule,
                 packet_sink=self._on_packet_ejected,
                 injected_sink=self._on_packet_injected,
+                event_pool=self._event_pool,
+                flit_pool=self._flit_pool,
             )
             for node in range(self.topology.node_count)
         ]
+        for router in self.routers:
+            router.bind_fast_queue(self._ring, self._ring_mask, self._counters)
 
         if config.dvs.enabled and config.dvs.initial_level is not None:
             initial_level = config.dvs.initial_level
@@ -209,42 +269,150 @@ class SimulationEngine:
             self.sanitizer = NetworkSanitizer(self).attach()
 
     # ------------------------------------------------------------------
+    # Kernel variants (benchmark A/B)
+    # ------------------------------------------------------------------
+
+    @property
+    def legacy_scan(self) -> bool:
+        """Benchmark escape hatch: emulate the PR-3 kernel shape.
+
+        When True the kernel scans all N routers every cycle, keeps every
+        event in the spill dict (one bucket per cycle, exactly the old
+        bucket map), and disables event-record and flit pooling — the
+        in-process baseline for the calendar-queue/pooling speedups.
+        """
+        return self._legacy_scan
+
+    @legacy_scan.setter
+    def legacy_scan(self, value: bool) -> None:
+        self._legacy_scan = bool(value)
+        legacy = self._legacy_scan
+        self._dispatch_fn = self._dispatch_legacy if legacy else self._dispatch
+        event_pool = None if legacy else self._event_pool
+        flit_pool = None if legacy else self._flit_pool
+        for router in self.routers:
+            router.event_pool = event_pool
+            router.flit_pool = flit_pool
+            if legacy:
+                router.bind_fast_queue(None, 0, None)
+            else:
+                router.bind_fast_queue(self._ring, self._ring_mask, self._counters)
+            # The legacy pipeline fills buffers without maintaining the
+            # occupied-VC list; rebuild it on every toggle.
+            router.resync_occupancy()
+        if not legacy:
+            # Events scheduled while legacy was set are plain tuples; the
+            # modern dispatch assumes every record is a pooled 5-slot
+            # list, so convert stragglers up front.
+            spill = self._spill
+            for cycle in sorted(spill):
+                self._listify_records(spill[cycle])
+            for bucket in self._ring:
+                if bucket:
+                    self._listify_records(bucket)
+
+    @staticmethod
+    def _listify_records(bucket: list) -> None:
+        """Convert tuple event records in *bucket* to 5-slot lists."""
+        for i, event in enumerate(bucket):
+            if type(event) is not list:
+                record = list(event)
+                while len(record) < 5:
+                    record.append(None)
+                bucket[i] = record
+
+    # Outstanding-event counters (see _counters above). Read-only:
+    # schedule/dispatch and fast-queue-bound routers mutate the list.
+
+    @property
+    def _pending_transport(self) -> int:
+        return self._counters[0]
+
+    @property
+    def _pending_arrivals(self) -> int:
+        return self._counters[1]
+
+    @property
+    def _ring_count(self) -> int:
+        """Events currently buffered across all ring slots."""
+        return self._counters[2]
+
+    # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
 
-    def schedule(self, cycle: int, event: tuple) -> None:
-        """Queue *event* for dispatch at *cycle* (must be in the future)."""
+    def schedule(self, cycle: int, event) -> None:
+        """Queue *event* for dispatch at *cycle* (strictly in the future)."""
+        now = self.now
+        if cycle <= now:
+            raise SimulationError(
+                f"event scheduled for cycle {cycle} at cycle {now}; "
+                "the kernel only dispatches future cycles"
+            )
         kind = event[0]
+        counters = self._counters
         if kind != EVENT_PHASE:
-            self._pending_transport += 1
+            counters[0] += 1
             if kind == EVENT_ARRIVAL:
-                self._pending_arrivals += 1
-        bucket = self._events.get(cycle)
-        if bucket is None:
-            self._events[cycle] = [event]
+                counters[1] += 1
+        if cycle - now <= self._ring_mask and not self._legacy_scan:
+            self._ring[cycle & self._ring_mask].append(event)
+            counters[2] += 1
         else:
-            bucket.append(event)
+            bucket = self._spill.get(cycle)
+            if bucket is None:
+                self._spill[cycle] = [event]
+                if cycle < self._spill_min:
+                    self._spill_min = cycle
+            else:
+                bucket.append(event)
+
+    def _phase_event(self, channel: DVSChannel):
+        """A fresh or recycled event record for a DVS phase boundary."""
+        if self._legacy_scan:
+            return (EVENT_PHASE, channel)
+        pool = self._event_pool
+        if pool:
+            record = pool.pop()
+            record[0] = EVENT_PHASE
+            record[1] = channel
+            record[2] = None
+            record[3] = None
+            record[4] = None
+            return record
+        return [EVENT_PHASE, channel, None, None, None]
 
     def iter_scheduled_events(self):
         """Yield every pending ``(cycle, event)`` pair, unordered.
 
-        A read-only view over the bucket map for diagnostics and the
-        network sanitizer's conservation checks; callers must not mutate
-        the event tuples or schedule/dispatch while iterating.
+        A read-only view over the union of the calendar ring and the spill
+        dict, for diagnostics and the network sanitizer's conservation
+        checks; callers must not mutate the event records or
+        schedule/dispatch while iterating. A ring slot's cycle is
+        recovered from its offset relative to ``now`` (each slot holds
+        events for exactly one cycle in ``[now, now + ring_size)``).
         """
-        for cycle, bucket in self._events.items():
+        for cycle, bucket in self._spill.items():
             for event in bucket:
                 yield cycle, event
+        if self._ring_count:
+            now = self.now
+            mask = self._ring_mask
+            for slot, bucket in enumerate(self._ring):
+                if bucket:
+                    cycle = now + ((slot - now) & mask)
+                    for event in bucket:
+                        yield cycle, event
 
     def iter_active_routers(self):
-        """Yield the routers in the current active set, in node order.
+        """Yield the active routers in ascending node order (zero-copy).
 
-        A read-only view over the dirty-set scheduler for diagnostics
-        and the network sanitizer: a router outside the set performed no
+        A read-only view over the incremental active list for diagnostics
+        and the network sanitizer: a router outside the list performed no
         work last cycle, so checker state derived from it is unchanged.
         """
         routers = self.routers
-        for node in sorted(self._active):
+        for node in self._active_list:
             yield routers[node]
 
     def _on_packet_ejected(self, packet: Packet, now: int) -> None:
@@ -271,54 +439,151 @@ class SimulationEngine:
     # The cycle loop
     # ------------------------------------------------------------------
 
-    def step(self) -> None:
+    def _dispatch(self, events: list, now: int) -> None:  # repro-hot
+        """Dispatch one cycle bucket's events, in scheduling order.
+
+        The ARRIVAL and CREDIT bodies are :meth:`Router.on_arrival` and
+        :meth:`Router.on_credit` inlined (keep them in sync — the router
+        methods remain the reference implementation for standalone
+        callers), minus their defensive checks: buffer overflow and credit
+        overflow are structurally impossible under credit flow control (a
+        flit is only launched against a positive credit, credits mirror
+        downstream slots exactly, and every credit return matches one
+        departed flit), and the opt-in network sanitizer re-verifies both
+        invariants end to end. Every record here is a pooled 5-slot list
+        (the ``legacy_scan`` toggle converts stragglers), recycled in the
+        same pass; the outstanding-event counters are settled once per
+        bucket rather than per event.
+        """
+        routers = self.routers
+        active_flags = self._active_flags
+        active_list = self._active_list
+        pool = self._event_pool
+        arrivals = 0
+        phases = 0
+        for event in events:
+            kind = event[0]
+            if kind == EVENT_ARRIVAL:
+                arrivals += 1
+                node = event[1]
+                router = routers[node]
+                vcstate = router.in_vcs[event[2]][event[3]]
+                flit = event[4]
+                flit.buffer_arrival_cycle = now
+                vcstate.flits.append(flit)
+                if not vcstate.in_occ:
+                    vcstate.in_occ = True
+                    insort(router._occ_list, vcstate.rid)
+                tracker = vcstate.tracker
+                if tracker is not None:
+                    # OccupancyTracker.on_enqueue, inlined (time cannot run
+                    # backwards under the monotonic dispatch clock).
+                    last = tracker._last_cycle
+                    if now != last:
+                        tracker._integral += tracker.occupied * (now - last)
+                        tracker._last_cycle = now
+                    tracker.occupied += 1
+                router.total_buffered += 1
+                if not active_flags[node]:
+                    active_flags[node] = 1
+                    insort(active_list, node)
+            elif kind == EVENT_CREDIT:
+                routers[event[1]].credit_states[event[2]].credits[event[3]] += 1
+            else:  # EVENT_PHASE
+                phases += 1
+                channel = event[1]
+                ramps_before = channel.transition_count
+                next_cycle = channel.on_phase_end(now)
+                if next_cycle is not None:
+                    self.schedule(next_cycle, self._phase_event(channel))
+                transition_hooks = self.bus.transition_hooks
+                if transition_hooks:
+                    self._emit_transition(channel, now, "phase_end")
+                    if channel.transition_count > ramps_before:
+                        self._emit_transition(channel, now, "ramp_start")
+            pool.append(event)
+        counters = self._counters
+        counters[0] -= len(events) - phases
+        counters[1] -= arrivals
+
+    def _dispatch_legacy(self, events: list, now: int) -> None:
+        """The PR-3 dispatch loop: one event-handler method call per
+        event, exactly as the seed kernel paid for it (the in-process A/B
+        baseline — do not optimize)."""
+        routers = self.routers
+        active_flags = self._active_flags
+        active_list = self._active_list
+        counters = self._counters
+        transition_hooks = self.bus.transition_hooks
+        for event in events:
+            kind = event[0]
+            if kind == EVENT_ARRIVAL:
+                counters[0] -= 1
+                counters[1] -= 1
+                node = event[1]
+                routers[node].on_arrival(event[2], event[3], event[4], now)
+                if not active_flags[node]:
+                    active_flags[node] = 1
+                    insort(active_list, node)
+            elif kind == EVENT_CREDIT:
+                counters[0] -= 1
+                routers[event[1]].on_credit(event[2], event[3], event[4])
+            else:  # EVENT_PHASE
+                channel = event[1]
+                ramps_before = channel.transition_count
+                next_cycle = channel.on_phase_end(now)
+                if next_cycle is not None:
+                    self.schedule(next_cycle, self._phase_event(channel))
+                if transition_hooks:
+                    self._emit_transition(channel, now, "phase_end")
+                    if channel.transition_count > ramps_before:
+                        self._emit_transition(channel, now, "ramp_start")
+
+    def step(self) -> None:  # repro-hot
         """Advance the simulation by one router cycle."""
         now = self.now
         routers = self.routers
         bus = self.bus
-        transition_hooks = bus.transition_hooks
 
-        events = self._events.pop(now, None)
-        if events:
-            active = self._active
-            for event in events:
-                kind = event[0]
-                if kind == EVENT_ARRIVAL:
-                    self._pending_transport -= 1
-                    self._pending_arrivals -= 1
-                    node = event[1]
-                    routers[node].on_arrival(event[2], event[3], event[4], now)
-                    active.add(node)
-                elif kind == EVENT_CREDIT:
-                    self._pending_transport -= 1
-                    routers[event[1]].on_credit(event[2], event[3], event[4])
-                else:  # EVENT_PHASE
-                    channel = event[1]
-                    ramps_before = channel.transition_count
-                    next_cycle = channel.on_phase_end(now)
-                    if next_cycle is not None:
-                        self.schedule(next_cycle, (EVENT_PHASE, channel))
-                    if transition_hooks:
-                        self._emit_transition(channel, now, "phase_end")
-                        if channel.transition_count > ramps_before:
-                            self._emit_transition(channel, now, "ramp_start")
+        # Event dispatch: for a given cycle, spill-resident events were
+        # necessarily scheduled earlier (from a smaller ``now``) than
+        # ring-resident ones, so spill-first equals the old single-bucket
+        # insertion order.
+        dispatch = self._dispatch_fn
+        if now == self._spill_min:
+            spill = self._spill
+            events = spill.pop(now)
+            self._spill_min = min(spill) if spill else _NEVER
+            dispatch(events, now)
+        ring_bucket = self._ring[now & self._ring_mask]
+        if ring_bucket:
+            # Recycled records re-enter the ring only at future slots
+            # (schedule targets are strictly after now), so clearing the
+            # bucket after dispatch cannot drop a reused record.
+            self._counters[2] -= len(ring_bucket)
+            dispatch(ring_bucket, now)
+            del ring_bucket[:]
 
         pairs = self.traffic.injections(now)
         if pairs:
-            flits_per_packet = self.config.network.flits_per_packet
+            flits_per_packet = self._flits_per_packet
             offered_hooks = bus.offered_hooks
-            active = self._active
+            active_flags = self._active_flags
+            active_list = self._active_list
             for src, dst in pairs:
                 packet = Packet(src, dst, flits_per_packet, now)
                 routers[src].offer_packet(packet)
-                active.add(src)
+                if not active_flags[src]:
+                    active_flags[src] = 1
+                    insort(active_list, src)
                 self._pending_source += 1
                 if offered_hooks:
                     for observer in offered_hooks:
                         observer.on_packet_offered(packet, now)
 
         if now:
-            if self.controllers and now % self.config.dvs.history_window == 0:
+            if self.controllers and now % self._history_window == 0:
+                transition_hooks = bus.transition_hooks
                 for controller in self.controllers:
                     channel = controller.channel
                     pending_before = channel.pending_event_cycle
@@ -326,7 +591,7 @@ class SimulationEngine:
                     controller.close_window(now)
                     pending_after = channel.pending_event_cycle
                     if pending_after is not None and pending_after != pending_before:
-                        self.schedule(pending_after, (EVENT_PHASE, channel))
+                        self.schedule(pending_after, self._phase_event(channel))
                     if transition_hooks and channel.transition_count > ramps_before:
                         self._emit_transition(channel, now, "ramp_start")
             window_hooks = bus.window_hooks
@@ -340,26 +605,46 @@ class SimulationEngine:
             for observer in cycle_hooks:
                 observer.on_cycle(now)
 
-        active = self._active
-        if self.legacy_scan:
-            # Pre-active-set behavior for A/B benchmarks: probe all N
-            # routers, then resynchronize the set (order is identical —
-            # both scans step non-idle routers in ascending node order).
+        active_list = self._active_list
+        if self._legacy_scan:
+            # PR-3 behavior for A/B benchmarks: probe all N routers with
+            # the seed's inline emptiness predicate and run the legacy
+            # router pipeline, then resynchronize the scheduler state
+            # (order is identical — both scans step non-idle routers in
+            # ascending node order).
             for router in routers:
                 if router.total_buffered or router.inj_flits or router.inj_queue:
-                    router.step(now)
-            active.clear()
+                    router.step_legacy(now)
+            active_flags = self._active_flags
+            del active_list[:]
             for node, router in enumerate(routers):
                 if router.total_buffered or router.inj_flits or router.inj_queue:
-                    active.add(node)
-        elif active:
-            for node in sorted(active):
-                router = routers[node]
-                router.step(now)
-                if not (
-                    router.total_buffered or router.inj_flits or router.inj_queue
-                ):
-                    active.discard(node)
+                    active_flags[node] = 1
+                    active_list.append(node)
+                else:
+                    active_flags[node] = 0
+        elif active_list:
+            # No router is *added* during this loop (arrivals and offers
+            # happened in the phases above) and only the router being
+            # stepped can become idle, so compacting in place preserves
+            # the ascending order with no allocation.
+            active_flags = self._active_flags
+            count = len(active_list)
+            write = 0
+            read = 0
+            while read < count:
+                node = active_list[read]
+                read += 1
+                # step() returns its own not-idle indicator (the inverse
+                # of Router.is_idle) — the innermost loop of the simulator
+                # re-probing three attributes per stepped router is real.
+                if routers[node].step(now):
+                    active_list[write] = node
+                    write += 1
+                else:
+                    active_flags[node] = 0
+            if write != count:
+                del active_list[write:]
 
         self.now = now + 1
 
@@ -379,7 +664,7 @@ class SimulationEngine:
     def _advance_chunk(self, target: int) -> None:
         """Advance at least one cycle toward *target*: skip or step.
 
-        With an empty active set, every cycle strictly before the event
+        With an empty active list, every cycle strictly before the event
         horizon is provably a no-op — no events dispatch, the traffic
         source neither emits nor mutates, no window closes, no router
         steps — and all time-dependent accounting (link energy, occupancy
@@ -387,7 +672,7 @@ class SimulationEngine:
         jump-safe. Skipping those cycles is bit-identical to stepping
         them.
         """
-        if self.fast_forward and not self._active:
+        if self.fast_forward and not self._active_list:
             horizon = self._quiescent_horizon()
             end = horizon if horizon < target else target
             now = self.now
@@ -405,7 +690,7 @@ class SimulationEngine:
     def _quiescent_horizon(self) -> int | float:
         """Earliest cycle >= now at which anything could happen.
 
-        Only meaningful while the active set is empty. Returns ``now``
+        Only meaningful while the active list is empty. Returns ``now``
         itself when fast-forward is not permitted (an attached observer
         needs every cycle, or the traffic source cannot predict its next
         injection), which makes the caller fall back to a plain step.
@@ -418,10 +703,18 @@ class SimulationEngine:
         if next_injection is None:
             return now
         horizon: int | float = next_injection
-        if self._events:
-            first_event = min(self._events)
-            if first_event < horizon:
-                horizon = first_event
+        first_event: int | float = self._spill_min
+        if self._ring_count:
+            ring = self._ring
+            mask = self._ring_mask
+            for offset in range(mask + 1):
+                if ring[(now + offset) & mask]:
+                    cycle = now + offset
+                    if cycle < first_event:
+                        first_event = cycle
+                    break
+        if first_event < horizon:
+            horizon = first_event
         if self.controllers:
             window = self.config.dvs.history_window
             # Next cycle with now % window == 0. A boundary at `now` itself
@@ -468,7 +761,7 @@ class SimulationEngine:
 
         The emptiness probe is O(1) end-to-end: outstanding transport
         events, source-queue packets, and buffered flits are all tracked
-        by counters (an empty active set implies every router buffer and
+        by counters (an empty active list implies every router buffer and
         injection queue is empty). The probe only needs evaluating at
         fast-forward chunk boundaries because nothing it reads can change
         across a skipped quiescent span.
@@ -478,7 +771,7 @@ class SimulationEngine:
         while self.now < deadline:
             if (
                 self._pending_transport == 0
-                and not self._active
+                and not self._active_list
                 and self._pending_source == 0
                 and self.traffic.pending_injections() == 0
             ):

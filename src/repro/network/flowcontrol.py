@@ -87,14 +87,31 @@ class OccupancyTracker:
             self._integral += self.occupied * (now - self._last_cycle)
             self._last_cycle = now
 
-    def on_enqueue(self, now: int) -> None:
+    # on_enqueue/on_dequeue run once per flit hop on the kernel's hot path;
+    # both fold the :meth:`_advance` integration inline.
+
+    def on_enqueue(self, now: int) -> None:  # repro-hot
         """A flit entered the port's buffers at *now*."""
-        self._advance(now)
+        last = self._last_cycle
+        if now != last:
+            if now < last:
+                raise FlowControlError(
+                    f"occupancy time ran backwards: {now} < {last}"
+                )
+            self._integral += self.occupied * (now - last)
+            self._last_cycle = now
         self.occupied += 1
 
-    def on_dequeue(self, now: int) -> None:
+    def on_dequeue(self, now: int) -> None:  # repro-hot
         """A flit left the port's buffers at *now*."""
-        self._advance(now)
+        last = self._last_cycle
+        if now != last:
+            if now < last:
+                raise FlowControlError(
+                    f"occupancy time ran backwards: {now} < {last}"
+                )
+            self._integral += self.occupied * (now - last)
+            self._last_cycle = now
         if self.occupied <= 0:
             raise FlowControlError("occupancy underflow")
         self.occupied -= 1

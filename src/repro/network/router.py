@@ -16,9 +16,30 @@ router in the style of the Alpha 21364's integrated router, with
 The router communicates with the rest of the network only through the
 kernel's event queue: launched flits become ARRIVAL events at the
 downstream router, dequeued flits become CREDIT events at the upstream
-router. The per-cycle :meth:`step` is the kernel's hot path and favors
-flat data structures over abstraction; invariants are still enforced by
-the flow-control primitives it calls.
+router. The per-cycle :meth:`step` is the kernel's hot path and is written
+to allocate nothing in steady state:
+
+* every per-VC fact the scan needs (the buffer's deque, the request id,
+  the occupancy tracker, the upstream credit target) is prebound onto the
+  :class:`~repro.network.vc.InputVC` at construction time;
+* per-output-port channel facts (DVS state machine, downstream
+  coordinates, pipeline latency) are prebound into flat lists at
+  :meth:`attach_channel` time;
+* switch-allocation requests accumulate in persistent per-port lists that
+  are cleared after arbitration instead of a per-cycle dict;
+* event records are reusable 5-slot lists drawn from the kernel's shared
+  free list (``event_pool``), and ejected flits return to a shared
+  ``flit_pool`` for reuse at injection. Both pools are optional — without
+  them (standalone routers, ``legacy_scan`` A/B runs) fresh objects are
+  allocated, with bit-identical behavior.
+
+Flow-control invariants that the old code enforced through
+:class:`~repro.network.flowcontrol.CreditState` method calls on this path
+are now guarded structurally (a switch-allocation request is only filed
+with a positive credit in the same cycle that consumes it; a downstream VC
+is claimed once at allocation and released once at tail launch); the
+checked primitives remain for every other caller, and the opt-in network
+sanitizer re-verifies the invariants end to end.
 
 Two callback seams connect the router to the layers above it without the
 router knowing they exist (see ``docs/architecture.md``):
@@ -37,10 +58,12 @@ router knowing they exist (see ``docs/architecture.md``):
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
+from math import ceil
 from typing import Callable
 
-from ..errors import SimulationError
+from ..errors import FlowControlError, SimulationError
 from .arbiters import RoundRobinArbiter
 from .channel import NetworkChannel
 from .flowcontrol import CreditState, OccupancyTracker
@@ -91,7 +114,23 @@ class Router:
         "flits_ejected",
         "packets_ejected",
         "flits_launched",
+        "event_pool",
+        "flit_pool",
+        "_fast_ring",
+        "_fast_mask",
+        "_fast_counters",
         "_vc_scan",
+        "_occ_list",
+        "_local_vcs",
+        "_req_ports",
+        "_req_lists",
+        "_port_dvs",
+        "_port_dst",
+        "_port_pipeline",
+        "_grants",
+        "_route_memo",
+        "_next_class",
+        "_hot",
     )
 
     def __init__(
@@ -106,6 +145,8 @@ class Router:
         schedule: ScheduleFn,
         packet_sink: PacketSink,
         injected_sink: Callable[[], None] | None = None,
+        event_pool: list | None = None,
+        flit_pool: list | None = None,
     ):
         self.node = node
         self.local_port = topology.local_port
@@ -115,6 +156,15 @@ class Router:
         self.packet_sink = packet_sink
         self.injected_sink = injected_sink if injected_sink is not None else _noop
         self.credit_delay = credit_delay
+        #: Shared free lists owned by the kernel; None = allocate fresh
+        #: objects (standalone routers, legacy_scan A/B runs).
+        self.event_pool = event_pool
+        self.flit_pool = flit_pool
+        # Direct view of the kernel's near-horizon calendar ring (see
+        # bind_fast_queue); None routes every event through schedule().
+        self._fast_ring: list[list] | None = None
+        self._fast_mask = 0
+        self._fast_counters: list[int] | None = None
 
         num_in_ports = topology.ports_per_router + 1  # network ports + local
         self.in_vcs = [
@@ -140,10 +190,14 @@ class Router:
                 self.credit_targets.append(None)
 
         # Output side: filled in by the simulator via attach_channel().
-        self.channels: list[NetworkChannel | None] = [None] * topology.ports_per_router
-        self.credit_states: list[CreditState | None] = [None] * topology.ports_per_router
+        ports = topology.ports_per_router
+        self.channels: list[NetworkChannel | None] = [None] * ports
+        self.credit_states: list[CreditState | None] = [None] * ports
         self.connected_out: tuple[int, ...] = ()
-        self.sa_arbiters: dict[int, RoundRobinArbiter] = {}
+        self.sa_arbiters: list[RoundRobinArbiter | None] = [None] * ports
+        self._port_dvs: list = [None] * ports
+        self._port_dst: list[tuple[int, int] | None] = [None] * ports
+        self._port_pipeline: list[int] = [0] * ports
 
         self.inj_queue: deque[Packet] = deque()
         self.inj_flits: list[Flit] = []
@@ -155,11 +209,66 @@ class Router:
         self.packets_ejected = 0
         self.flits_launched = 0
 
-        self._vc_scan = [
-            (p, v, self.in_vcs[p][v])
-            for p in range(num_in_ports)
-            for v in range(vcs_per_port)
-        ]
+        # Prebind every per-VC fact the hot scan needs (see vc.py).
+        self._vc_scan: list[InputVC] = []
+        for p in range(num_in_ports):
+            tracker = self.occupancy[p]
+            target = self.credit_targets[p]
+            for v in range(vcs_per_port):
+                vcstate = self.in_vcs[p][v]
+                vcstate.in_port = p
+                vcstate.in_vc = v
+                vcstate.rid = p * vcs_per_port + v
+                vcstate.tracker = tracker
+                vcstate.credit_target = target
+                self._vc_scan.append(vcstate)
+        self._local_vcs = self.in_vcs[self.local_port]
+        #: Request ids of VCs whose deque is (or was recently) non-empty,
+        #: ascending — the per-cycle scan walks only these instead of all
+        #: ports x VCs. Enqueue sites insert eagerly (guarded by
+        #: ``InputVC.in_occ``); the scan drops emptied entries lazily, so
+        #: the order always equals the full scan's visit order.
+        self._occ_list: list[int] = []
+        # Persistent switch-allocation request structures: request lists
+        # per output port plus the ports requested this cycle, cleared
+        # after arbitration (no per-cycle dict).
+        self._req_ports: list[int] = []
+        self._req_lists: list[list[InputVC]] = [[] for _ in range(ports)]
+        # Switch-allocation winners this cycle, traversed after all grant
+        # decisions (cleared in step; the winner's out_port/out_vc live on
+        # the InputVC itself).
+        self._grants: list[InputVC] = []
+        # Route-computation memo: (dst, vc_class, last_dim) -> the options
+        # list _route_and_allocate would build. Valid because the routing
+        # interface is a pure function of those inputs (plus this fixed
+        # node), and the cached list is never mutated — VCs share it via
+        # route_options and only ever drop their reference.
+        self._route_memo: dict[tuple[int, int, int], list] = {}
+        # Per-port next_vc_class table (filled by attach_channel); None
+        # falls back to the routing method in the traversal loop.
+        self._next_class: list[tuple[int, ...] | None] = [None] * ports
+        # Everything step() needs that is fixed for the router's lifetime,
+        # as one tuple: a single attribute load + unpack replaces ~13 per
+        # step. Safe to capture here because every element is either a
+        # constant or a container only ever mutated in place (attach_channel
+        # fills the port lists; probes append into age_hooks). The
+        # mode-dependent pieces (event pool, fast ring) stay attributes.
+        self._hot = (
+            self.local_port,
+            self.credit_states,
+            self._port_dvs,
+            self._req_ports,
+            self._req_lists,
+            self._vc_scan,
+            self._occ_list,
+            self.sa_arbiters,
+            self.schedule,
+            self.credit_delay,
+            self._port_dst,
+            self._port_pipeline,
+            self.age_hooks,
+            self._grants,
+        )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -176,14 +285,51 @@ class Router:
         self.sa_arbiters[out_port] = RoundRobinArbiter(
             len(self.in_vcs) * self.vcs_per_port
         )
+        spec = channel.spec
+        self._port_dvs[out_port] = channel.dvs
+        self._port_dst[out_port] = (spec.dst_node, spec.dst_port)
+        self._port_pipeline[out_port] = channel.pipeline_latency
+        # Tabulate the (pure) dateline-class transition for this port. The
+        # table is closed — every output indexes back into it — for the
+        # routing functions shipped here; a custom function escaping the
+        # range disables the table and the traversal loop falls back to
+        # calling next_vc_class directly.
+        classes = max(2, self.vcs_per_port)
+        row = tuple(
+            self.routing.next_vc_class(self.node, out_port, c)
+            for c in range(classes)
+        )
+        self._next_class[out_port] = row if max(row) < classes else None
         self.connected_out = tuple(
             p for p, ch in enumerate(self.channels) if ch is not None
         )
+
+    def bind_fast_queue(
+        self, ring: list[list] | None, mask: int, counters: list[int] | None
+    ) -> None:
+        """Hand the router a direct view of the kernel's calendar ring.
+
+        Every flit launch schedules two events (the arrival downstream and
+        the credit upstream) whose targets provably land inside the ring's
+        near horizon, so the bound router appends records straight into
+        ``ring[cycle & mask]`` and bumps the kernel's shared outstanding
+        counters ``[transport, arrivals, ring_count]`` — bit-identical to
+        calling ``schedule()``, minus 2 Python calls per launch. Pass
+        ``ring=None`` to unbind (standalone routers, ``legacy_scan``).
+        """
+        self._fast_ring = ring
+        self._fast_mask = mask
+        self._fast_counters = counters
 
     @property
     def is_idle(self) -> bool:
         """True when :meth:`step` would be a no-op this cycle."""
         return not (self.total_buffered or self.inj_flits or self.inj_queue)
+
+    @staticmethod
+    def _event_record() -> list:
+        """Pool-miss fallback: a fresh 5-slot event record."""
+        return [0, None, None, None, None]
 
     # ------------------------------------------------------------------
     # Read-only views (diagnostics / network sanitizer)
@@ -191,7 +337,8 @@ class Router:
 
     def iter_vc_states(self):
         """Yield ``(in_port, vc, InputVC)`` for every input VC."""
-        return iter(self._vc_scan)
+        for vcstate in self._vc_scan:
+            yield vcstate.in_port, vcstate.in_vc, vcstate
 
     def unsent_source_flits(self) -> int:
         """Flits offered at this node but not yet in the input buffers:
@@ -204,26 +351,60 @@ class Router:
     # Event handlers (called by the simulator dispatch loop)
     # ------------------------------------------------------------------
 
-    def on_arrival(self, port: int, vc: int, flit: Flit, now: int) -> None:
-        """A flit arrived from the upstream channel into input *port*."""
-        self.in_vcs[port][vc].buffer.enqueue(flit, now)
-        tracker = self.occupancy[port]
+    def on_arrival(self, port: int, vc: int, flit: Flit, now: int) -> None:  # repro-hot
+        """A flit arrived from the upstream channel into input *port*.
+
+        Reference implementation for the body the kernel inlines into its
+        dispatch loop (see ``SimulationEngine._dispatch``) — keep in sync.
+        """
+        vcstate = self.in_vcs[port][vc]
+        flits = vcstate.flits
+        if len(flits) >= vcstate.capacity:
+            raise FlowControlError(
+                f"buffer overflow: enqueue into full VC buffer at cycle {now}"
+            )
+        flit.buffer_arrival_cycle = now
+        flits.append(flit)
+        if not vcstate.in_occ:
+            vcstate.in_occ = True
+            insort(self._occ_list, vcstate.rid)
+        tracker = vcstate.tracker
         if tracker is not None:
             tracker.on_enqueue(now)
         self.total_buffered += 1
 
-    def on_credit(self, out_port: int, vc: int, is_tail: bool) -> None:
+    def resync_occupancy(self) -> None:
+        """Rebuild the occupied-VC list from the buffers.
+
+        Needed after stepping outside the incremental bookkeeping — the
+        kernel calls this when ``legacy_scan`` toggles, since the legacy
+        pipeline fills buffers without maintaining the list.
+        """
+        occ = self._occ_list
+        del occ[:]
+        for vcstate in self._vc_scan:
+            if vcstate.flits:
+                vcstate.in_occ = True
+                occ.append(vcstate.rid)
+            else:
+                vcstate.in_occ = False
+
+    def on_credit(self, out_port: int, vc: int, is_tail: bool) -> None:  # repro-hot
         """A credit returned from the downstream router.
 
         Credits only replenish buffer slots; output-VC ownership is
-        released when the tail flit is *sent* (see :meth:`_launch`), per
+        released when the tail flit is *sent* (see the switch-traversal
+        stage of :meth:`step`), per
         classic VC flow control — packets may queue back-to-back in a
         downstream VC buffer.
         """
         state = self.credit_states[out_port]
         if state is None:
             raise SimulationError(f"credit for unattached port {out_port}")
-        state.restore(vc)
+        credits = state.credits
+        if credits[vc] >= state.capacity_per_vc:
+            raise FlowControlError(f"credit overflow on VC {vc}")
+        credits[vc] += 1
 
     def offer_packet(self, packet: Packet) -> None:
         """Enqueue *packet* in this node's source queue."""
@@ -233,15 +414,464 @@ class Router:
     # Per-cycle pipeline
     # ------------------------------------------------------------------
 
-    def step(self, now: int) -> None:
-        """One router cycle: eject, route/allocate, switch-allocate, inject."""
+    def step(self, now: int):  # repro-hot
+        """One router cycle: eject, route/allocate, switch-allocate, inject.
+
+        Returns a truthy value when the router still has work after the
+        cycle (buffered flits or pending injections), falsy when idle.
+        """
+        (
+            local_port,
+            credit_states,
+            port_dvs,
+            req_ports,
+            req_lists,
+            vc_scan,
+            occ,
+            arbiters,
+            schedule,
+            credit_delay,
+            port_dst,
+            port_pipeline,
+            age_hooks,
+            grants,
+        ) = self._hot
+        horizon = now + 1
+
+        count = len(occ)
+        if count == 1:
+            # Lone-occupied-VC fast path — the overwhelmingly common case
+            # at saturation (one packet flowing through the router). One
+            # occupied VC can file at most one switch-allocation request,
+            # which trivially wins its port's arbitration (the rotated-
+            # priority minimum of a single requester is that requester),
+            # so the request/grant machinery below collapses to a direct
+            # eligibility check. Same decisions, same order.
+            rid = occ[0]
+            vcstate = vc_scan[rid]
+            flits = vcstate.flits
+            if not flits:
+                vcstate.in_occ = False
+                del occ[:]
+            else:
+                out_port = vcstate.out_port
+                if out_port == UNROUTED:
+                    head = flits[0]
+                    if not head.is_head:
+                        raise SimulationError(
+                            f"body flit at head of unrouted VC at node {self.node}"
+                        )
+                    packet = head.packet
+                    if packet.dst == self.node:
+                        vcstate.out_port = local_port
+                        vcstate.out_vc = 0
+                        out_port = local_port
+                    else:
+                        out_port = self._route_and_allocate(vcstate, packet)
+                if out_port == local_port:
+                    self._eject(vcstate, now)
+                    if not flits:
+                        vcstate.in_occ = False
+                        del occ[:]
+                elif out_port != UNROUTED:
+                    # Needs a credit and a willing wire (as the scan below).
+                    if credit_states[out_port].credits[vcstate.out_vc] > 0:
+                        dvs = port_dvs[out_port]
+                        if not dvs.locked and dvs.busy_until < horizon:
+                            # RoundRobinArbiter.advance_past, inlined.
+                            arbiter = arbiters[out_port]
+                            arbiter._next = (rid + 1) % arbiter.size
+                            grants.append(vcstate)
+        elif count:
+            # Scan only the occupied VCs, in ascending request-id order —
+            # the exact order the old full scan visited non-empty VCs.
+            # Entries whose deque emptied since (a launch last cycle) are
+            # dropped in place; nothing is added during the loop (arrivals
+            # dispatched before stepping, injection runs after).
+            write = 0
+            read = 0
+            while read < count:
+                rid = occ[read]
+                read += 1
+                vcstate = vc_scan[rid]
+                flits = vcstate.flits
+                if not flits:
+                    vcstate.in_occ = False
+                    continue
+                out_port = vcstate.out_port
+                if out_port == UNROUTED:
+                    head = flits[0]
+                    if not head.is_head:
+                        raise SimulationError(
+                            f"body flit at head of unrouted VC at node {self.node}"
+                        )
+                    packet = head.packet
+                    if packet.dst == self.node:
+                        vcstate.out_port = local_port
+                        vcstate.out_vc = 0
+                        out_port = local_port
+                    else:
+                        out_port = self._route_and_allocate(vcstate, packet)
+                        if out_port == UNROUTED:
+                            occ[write] = rid
+                            write += 1
+                            continue  # retry next cycle
+                if out_port == local_port:
+                    self._eject(vcstate, now)
+                    if flits:
+                        occ[write] = rid
+                        write += 1
+                    else:
+                        vcstate.in_occ = False
+                    continue
+                occ[write] = rid
+                write += 1
+                # Switch-allocation request: needs a credit and a willing
+                # wire.
+                if credit_states[out_port].credits[vcstate.out_vc] <= 0:
+                    continue
+                dvs = port_dvs[out_port]
+                if dvs.locked or dvs.busy_until >= horizon:
+                    continue
+                bucket = req_lists[out_port]
+                if not bucket:
+                    req_ports.append(out_port)
+                bucket.append(vcstate)
+            if write != count:
+                del occ[write:]
+
+            if req_ports:
+                # Separable switch allocation, one rotating-priority grant
+                # per requested output port, at most one grant per input
+                # port. Ports arbitrate in first-request order == the old
+                # dict's insertion order; within a port the smallest
+                # rotated request id wins, exactly as RoundRobinArbiter
+                # .grant would pick. Winners traverse the switch after all
+                # grant decisions — deferral is invisible because a
+                # traversal touches only its own VC and its own output
+                # port, each granted at most once per cycle.
+                granted_inputs = 0
+                for out_port in req_ports:
+                    bucket = req_lists[out_port]
+                    arbiter = arbiters[out_port]
+                    if len(bucket) == 1:
+                        # Lone requester: the rotated-priority minimum is
+                        # the requester itself whatever the head priority.
+                        best = bucket[0]
+                        if granted_inputs and (granted_inputs >> best.in_port) & 1:
+                            best = None
+                        del bucket[:]
+                        if best is None:
+                            continue
+                    else:
+                        head_priority = arbiter._next
+                        size = arbiter.size
+                        best = None
+                        best_key = size
+                        for vcstate in bucket:
+                            if granted_inputs and (granted_inputs >> vcstate.in_port) & 1:
+                                continue
+                            key = (vcstate.rid - head_priority) % size
+                            if key < best_key:
+                                best_key = key
+                                best = vcstate
+                        del bucket[:]
+                        if best is None:
+                            continue
+                    # RoundRobinArbiter.advance_past, inlined: the winner
+                    # becomes the lowest-priority requester next round.
+                    arbiter._next = (best.rid + 1) % arbiter.size
+                    granted_inputs |= 1 << best.in_port
+                    grants.append(best)
+                del req_ports[:]
+
+        if grants:
+            pool = self.event_pool
+            ring = self._fast_ring
+            mask = self._fast_mask
+            counters = self._fast_counters
+            for best in grants:
+                out_port = best.out_port
+                # -- switch traversal (keep in sync with step_legacy) --
+                flit = best.flits.popleft()
+                self.total_buffered -= 1
+                tracker = best.tracker
+                if tracker is not None:
+                    # OccupancyTracker.on_dequeue, inlined. Time cannot run
+                    # backwards here (now advances monotonically) and the
+                    # dequeue follows an enqueue, so the checked raises of
+                    # the reference method are unreachable.
+                    last = tracker._last_cycle
+                    if now != last:
+                        tracker._integral += tracker.occupied * (now - last)
+                        tracker._last_cycle = now
+                    tracker.occupied -= 1
+                if age_hooks:
+                    hooks = age_hooks.get(best.in_port)
+                    if hooks:
+                        age = now - flit.buffer_arrival_cycle
+                        for hook in hooks:
+                            hook(age)
+                is_tail = flit.is_tail
+                target = best.credit_target
+                if target is not None:
+                    record = pool.pop() if pool else self._event_record()
+                    record[0] = EVENT_CREDIT
+                    record[1] = target[0]
+                    record[2] = target[1]
+                    record[3] = best.in_vc
+                    record[4] = is_tail
+                    if ring is not None:
+                        # credit_delay <= near horizon <= mask by the
+                        # kernel's ring sizing, so the slot is exact.
+                        ring[(now + credit_delay) & mask].append(record)
+                        counters[0] += 1
+                        counters[2] += 1
+                    else:
+                        schedule(now + credit_delay, record)
+                out_vc = best.out_vc
+                credit_state = credit_states[out_port]
+                # Credit underflow is structurally impossible: the request
+                # was filed with credits[out_vc] > 0 this same cycle, and
+                # only this grant consumes that VC's credit.
+                credit_state.credits[out_vc] -= 1
+                dst = port_dst[out_port]
+                # DVSChannel.send_flit, inlined. Its locked/busy raises are
+                # unreachable here: the request was only filed after the
+                # scan's ``locked or busy_until >= horizon`` check, the lock
+                # cannot change mid-step, and this is the port's only grant
+                # this cycle.
+                dvs = port_dvs[out_port]
+                busy = dvs.busy_until
+                start = busy if busy > now else now
+                occupancy = dvs._serialization_cycles
+                busy = start + occupancy
+                dvs.busy_until = busy
+                dvs.busy_cycles_total += occupancy
+                dvs.flits_sent += 1
+                arrival = ceil(busy + port_pipeline[out_port])
+                record = pool.pop() if pool else self._event_record()
+                record[0] = EVENT_ARRIVAL
+                record[1] = dst[0]
+                record[2] = dst[1]
+                record[3] = out_vc
+                record[4] = flit
+                if ring is not None and arrival - now <= mask:
+                    ring[arrival & mask].append(record)
+                    counters[0] += 1
+                    counters[1] += 1
+                    counters[2] += 1
+                else:
+                    schedule(arrival, record)
+                self.flits_launched += 1
+                if flit.is_head:
+                    packet = flit.packet
+                    dim = out_port >> 1
+                    vc_class = packet.vc_class if packet.last_dim == dim else 0
+                    # Dateline-class transition from the attach-time table
+                    # (see attach_channel); None falls back to the method.
+                    row = self._next_class[out_port]
+                    if row is not None:
+                        packet.vc_class = row[vc_class]
+                    else:
+                        packet.vc_class = self.routing.next_vc_class(
+                            self.node, out_port, vc_class
+                        )
+                    packet.last_dim = dim
+                if is_tail:
+                    # Claimed once at VC allocation, released exactly once
+                    # here; InputVC.reset_route, inlined.
+                    credit_state.vc_free[out_vc] = True
+                    best.out_port = UNROUTED
+                    best.out_vc = UNROUTED
+                    best.route_options = None
+            del grants[:]
+
+        # Injection stage — Router._inject's former body, inlined at its
+        # only call site: move up to one flit from the source queue into
+        # the local port.
+        inj_flits = self.inj_flits
+        if inj_flits or self.inj_queue:
+            if not inj_flits:
+                packet = self.inj_queue[0]
+                best_vc = -1
+                best_free = 0
+                for v, vcstate in enumerate(self._local_vcs):
+                    free = vcstate.capacity - len(vcstate.flits)
+                    if free > best_free:
+                        best_vc = v
+                        best_free = free
+                if best_vc < 0:
+                    # No room anywhere: still not idle (inj_queue waits).
+                    return self.total_buffered or self.inj_queue
+                self.inj_queue.popleft()
+                # Materialize the packet's flits (head first, tail last)
+                # into the persistent staging list, reusing pooled flits
+                # when available — field-for-field identical to
+                # Packet.make_flits.
+                pool = self.flit_pool
+                last = packet.size_flits - 1
+                for index in range(last + 1):
+                    if pool:
+                        flit = pool.pop()
+                        flit.packet = packet
+                        flit.index = index
+                        flit.is_head = index == 0
+                        flit.is_tail = index == last
+                        flit.buffer_arrival_cycle = 0
+                    else:
+                        flit = Flit(packet, index, index == 0, index == last)
+                    inj_flits.append(flit)
+                self.inj_pos = 0
+                self.inj_vc = best_vc
+            vcstate = self._local_vcs[self.inj_vc]
+            flits = vcstate.flits
+            if len(flits) < vcstate.capacity:
+                flit = inj_flits[self.inj_pos]
+                flit.buffer_arrival_cycle = now
+                flits.append(flit)
+                if not vcstate.in_occ:
+                    vcstate.in_occ = True
+                    insort(occ, vcstate.rid)
+                self.total_buffered += 1
+                self.inj_pos += 1
+                if self.inj_pos >= len(inj_flits):
+                    del inj_flits[:]
+                    self.inj_pos = 0
+                    self.injected_sink()
+        # Not-idle indicator (the inverse of is_idle), so the kernel's
+        # stepping loop needs no attribute probes of its own.
+        return self.total_buffered or self.inj_flits or self.inj_queue
+
+    # ------------------------------------------------------------------
+    # Stage helpers
+    # ------------------------------------------------------------------
+
+    def _route_and_allocate(self, vcstate: InputVC, packet: Packet) -> int:
+        """Route computation + VC allocation for the packet at *vcstate*'s head.
+
+        Route computation runs once per packet per hop, memoized across
+        packets by (dst, vc_class, last_dim) — the routing interface is a
+        pure function of those inputs — and cached on the VC; VC allocation
+        retries each cycle against the cached options. Returns the chosen
+        output port, or UNROUTED if every candidate port's permitted
+        downstream VCs are currently held.
+        """
+        options = vcstate.route_options
+        if options is None:
+            memo = self._route_memo
+            key = (packet.dst, packet.vc_class, packet.last_dim)
+            options = memo.get(key)
+            if options is None:
+                routing = self.routing
+                node = self.node
+                options = []
+                for out_port in routing.candidates(node, packet.dst):
+                    if self.credit_states[out_port] is None:
+                        raise SimulationError(
+                            f"route to unattached port {out_port} at node {node}"
+                        )
+                    vc_class = (
+                        packet.vc_class if packet.last_dim == out_port >> 1 else 0
+                    )
+                    options.append(
+                        (
+                            out_port,
+                            routing.allowed_vcs(node, out_port, packet.dst, vc_class),
+                        )
+                    )
+                memo[key] = options
+            vcstate.route_options = options
+        for out_port, allowed in options:
+            credit_state = self.credit_states[out_port]
+            free = credit_state.vc_free
+            for downstream_vc in allowed:
+                if free[downstream_vc]:
+                    # CreditState.allocate_vc, inlined: the guard just
+                    # above makes its in-use check unreachable.
+                    free[downstream_vc] = False
+                    vcstate.out_port = out_port
+                    vcstate.out_vc = downstream_vc
+                    return out_port
+        return UNROUTED
+
+    def _eject(self, vcstate: InputVC, now: int) -> None:  # repro-hot
+        """Immediate ejection: one flit per VC per cycle at the destination."""
+        flit = vcstate.flits.popleft()
+        self.total_buffered -= 1
+        tracker = vcstate.tracker
+        if tracker is not None:
+            # OccupancyTracker.on_dequeue, inlined (see the traversal loop
+            # in step for why the reference method's raises are
+            # unreachable here).
+            last = tracker._last_cycle
+            if now != last:
+                tracker._integral += tracker.occupied * (now - last)
+                tracker._last_cycle = now
+            tracker.occupied -= 1
+        if self.age_hooks:
+            hooks = self.age_hooks.get(vcstate.in_port)
+            if hooks:
+                age = now - flit.buffer_arrival_cycle
+                for hook in hooks:
+                    hook(age)
+        is_tail = flit.is_tail
+        target = vcstate.credit_target
+        if target is not None:
+            pool = self.event_pool
+            record = pool.pop() if pool else self._event_record()
+            record[0] = EVENT_CREDIT
+            record[1] = target[0]
+            record[2] = target[1]
+            record[3] = vcstate.in_vc
+            record[4] = is_tail
+            ring = self._fast_ring
+            if ring is not None:
+                ring[(now + self.credit_delay) & self._fast_mask].append(record)
+                counters = self._fast_counters
+                counters[0] += 1
+                counters[2] += 1
+            else:
+                self.schedule(now + self.credit_delay, record)
+        self.flits_ejected += 1
+        flit_pool = self.flit_pool
+        if is_tail:
+            vcstate.reset_route()
+            packet = flit.packet
+            packet.ejected_cycle = now
+            self.packets_ejected += 1
+            if flit_pool is not None:
+                flit_pool.append(flit)
+            self.packet_sink(packet, now)
+        elif flit_pool is not None:
+            # An ejected flit is referenced by nothing: its arrival event
+            # already dispatched and observers only see the packet.
+            flit_pool.append(flit)
+
+    # ------------------------------------------------------------------
+    # Legacy (PR-3) per-cycle pipeline — the in-process A/B baseline
+    # ------------------------------------------------------------------
+    #
+    # step_legacy and its helpers reproduce the pre-calendar-queue router
+    # verbatim: per-cycle request dicts, checked CreditState/VCBuffer
+    # method calls, tuple event records, fresh Flit lists from
+    # Packet.make_flits. The kernel runs them when ``legacy_scan`` is set,
+    # so ``benchmarks/bench_step_throughput.py`` measures the rewrite
+    # against the real PR-3 cost model in the same process, and
+    # ``tests/test_fast_forward.py`` golden-compares the two pipelines as
+    # a differential oracle. Do not optimize this code.
+
+    def step_legacy(self, now: int) -> None:
+        """One router cycle, exactly as the PR-3 kernel executed it."""
         vcs_per_port = self.vcs_per_port
         requests: dict[int, list[int]] | None = None
 
-        for p, v, vcstate in self._vc_scan:
+        for vcstate in self._vc_scan:
             buf = vcstate.buffer.flits
             if not buf:
                 continue
+            p = vcstate.in_port
+            v = vcstate.in_vc
             out_port = vcstate.out_port
             if out_port == UNROUTED:
                 head = buf[0]
@@ -259,7 +889,7 @@ class Router:
                     if out_port == UNROUTED:
                         continue  # retry next cycle
             if out_port == self.local_port:
-                self._eject(p, v, vcstate, now)
+                self._eject_legacy(p, v, vcstate, now)
                 continue
             # Switch-allocation request: needs a credit and a willing wire.
             credit_state = self.credit_states[out_port]
@@ -284,48 +914,12 @@ class Router:
                 if winner < 0:
                     continue
                 granted_inputs |= 1 << (winner // vcs_per_port)
-                self._launch(out_port, winner // vcs_per_port, winner % vcs_per_port, now)
+                self._launch_legacy(
+                    out_port, winner // vcs_per_port, winner % vcs_per_port, now
+                )
 
         if self.inj_flits or self.inj_queue:
-            self._inject(now)
-
-    # ------------------------------------------------------------------
-    # Stage helpers
-    # ------------------------------------------------------------------
-
-    def _route_and_allocate(self, vcstate: InputVC, packet: Packet) -> int:
-        """Route computation + VC allocation for the packet at *vcstate*'s head.
-
-        Route computation runs once per packet per hop and its result is
-        cached on the VC; VC allocation retries each cycle against the
-        cached options. Returns the chosen output port, or UNROUTED if
-        every candidate port's permitted downstream VCs are currently held.
-        """
-        options = vcstate.route_options
-        if options is None:
-            routing = self.routing
-            node = self.node
-            options = []
-            for out_port in routing.candidates(node, packet.dst):
-                if self.credit_states[out_port] is None:
-                    raise SimulationError(
-                        f"route to unattached port {out_port} at node {node}"
-                    )
-                vc_class = packet.vc_class if packet.last_dim == out_port >> 1 else 0
-                options.append(
-                    (out_port, routing.allowed_vcs(node, out_port, packet.dst, vc_class))
-                )
-            vcstate.route_options = options
-        for out_port, allowed in options:
-            credit_state = self.credit_states[out_port]
-            free = credit_state.vc_free
-            for downstream_vc in allowed:
-                if free[downstream_vc]:
-                    credit_state.allocate_vc(downstream_vc)
-                    vcstate.out_port = out_port
-                    vcstate.out_vc = downstream_vc
-                    return out_port
-        return UNROUTED
+            self._inject_legacy(now)
 
     def _arbitrate(
         self, out_port: int, rids: list[int], granted_inputs: int, vcs_per_port: int
@@ -347,7 +941,7 @@ class Router:
             arbiter.advance_past(best)
         return best
 
-    def _launch(self, out_port: int, p: int, v: int, now: int) -> None:
+    def _launch_legacy(self, out_port: int, p: int, v: int, now: int) -> None:
         """Winner of switch allocation: move the flit onto the channel."""
         vcstate = self.in_vcs[p][v]
         flit = vcstate.buffer.dequeue()
@@ -386,7 +980,7 @@ class Router:
             credit_state.release_vc(vcstate.out_vc)
             vcstate.reset_route()
 
-    def _eject(self, p: int, v: int, vcstate: InputVC, now: int) -> None:
+    def _eject_legacy(self, p: int, v: int, vcstate: InputVC, now: int) -> None:
         """Immediate ejection: one flit per VC per cycle at the destination."""
         flit = vcstate.buffer.dequeue()
         self.total_buffered -= 1
@@ -413,7 +1007,7 @@ class Router:
             self.packets_ejected += 1
             self.packet_sink(packet, now)
 
-    def _inject(self, now: int) -> None:
+    def _inject_legacy(self, now: int) -> None:
         """Move up to one flit from the source queue into the local port."""
         if not self.inj_flits:
             packet = self.inj_queue[0]

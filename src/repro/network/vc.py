@@ -10,6 +10,13 @@ through route computation and VC allocation afresh.
 Invariant: because an upstream output VC is held by a single packet from
 head to tail, flits of distinct packets never interleave within one VC
 FIFO — the state pair always describes the packet at the head.
+
+For the router's allocation-free hot loop the VC also carries *prebound*
+aliases of everything its step needs — the buffer's deque and capacity,
+its own ``(in_port, in_vc)`` coordinates and switch-allocation request id,
+and the input port's occupancy tracker and upstream credit target. The
+router fills these in at construction/wiring time so the per-cycle scan
+performs no tuple unpacking, list indexing, or dict lookups.
 """
 
 from __future__ import annotations
@@ -29,13 +36,39 @@ class InputVC:
     function entirely.
     """
 
-    __slots__ = ("buffer", "out_port", "out_vc", "route_options")
+    __slots__ = (
+        "buffer",
+        "out_port",
+        "out_vc",
+        "route_options",
+        # Hot-path prebindings (see module docstring). ``flits`` aliases
+        # ``buffer.flits`` — the deque object is stable for the buffer's
+        # lifetime — and ``capacity`` mirrors ``buffer.capacity``.
+        "flits",
+        "capacity",
+        "in_port",
+        "in_vc",
+        "rid",
+        "tracker",
+        "credit_target",
+        # Membership flag for the router's occupied-VC list (kept by the
+        # enqueue sites and the router's scan; see Router._occ_list).
+        "in_occ",
+    )
 
     def __init__(self, capacity: int):
         self.buffer = VCBuffer(capacity)
         self.out_port = UNROUTED
         self.out_vc = UNROUTED
         self.route_options: list[tuple[int, tuple[int, ...]]] | None = None
+        self.flits = self.buffer.flits
+        self.capacity = self.buffer.capacity
+        self.in_port = UNROUTED
+        self.in_vc = UNROUTED
+        self.rid = UNROUTED
+        self.tracker = None
+        self.credit_target: tuple[int, int] | None = None
+        self.in_occ = False
 
     @property
     def needs_route(self) -> bool:

@@ -1,4 +1,5 @@
-"""Fixture: R3 (traffic contract), R4 (observer skip-safety), R5 (config)."""
+"""Fixture: R3 (traffic contract), R4 (observer skip-safety), R5 (config),
+R6 (hot-path allocation)."""
 
 from dataclasses import dataclass
 from typing import Callable
@@ -36,3 +37,19 @@ class DeclaredObserver(Observer):  # clean: documents the intent
 class CallbackConfig:  # one R5 violation: a callable cannot be a cache key
     rate: float = 1.0
     on_drop: Callable[[int], None] = print
+
+
+def collect_ready(queues) -> int:  # repro-hot
+    ready = []  # one R6 violation: list literal in a hot function
+    for queue in queues:
+        if queue:
+            ready.append(queue[0])
+    return len(ready)
+
+
+def snapshot_counts(pairs):  # repro-hot
+    # Suppressed R6: must NOT be reported.
+    table = dict(pairs)  # repro-lint: ignore[R6]
+    if not table:
+        raise ValueError(f"no pairs in {list(pairs)!r}")  # clean: raise path
+    return table

@@ -10,7 +10,10 @@ boundaries, and exhausted traffic sources on the drain path.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.config import SimulationConfig
+from repro.errors import SimulationError
 from repro.harness.serialization import to_json
 from repro.instrument.bus import Observer
 from repro.network.simulator import Simulator
@@ -115,6 +118,45 @@ class TestEdgeCases:
         _, _, result_fast, result_slow = run_pair(config)
         assert result_fast == result_slow
 
+    def test_run_until_saturated_matches_cycle_by_cycle_stepping(self):
+        """run_until with fast_forward=True and False walk bit-identical
+        kernel states through a saturated run: same per-router counters,
+        same drain counters, same pending event population at every
+        checkpoint."""
+        config = small_config(policy="history", rate=1.2, measure=1_500)
+        fast = Simulator(config)
+        slow = Simulator(config, fast_forward=False)
+        for target in (120, 450, 900, 1_600):
+            fast.run_until(target)
+            slow.run_until(target)
+            assert fast.now == slow.now == target
+            assert fast._active_list == slow._active_list
+            assert [r.flits_launched for r in fast.routers] == [
+                r.flits_launched for r in slow.routers
+            ]
+            assert [r.packets_ejected for r in fast.routers] == [
+                r.packets_ejected for r in slow.routers
+            ]
+            assert fast._pending_transport == slow._pending_transport
+            assert fast.pending_source_packets() == slow.pending_source_packets()
+            fast_events = sorted(
+                (cycle, event[0]) for cycle, event in fast.iter_scheduled_events()
+            )
+            slow_events = sorted(
+                (cycle, event[0]) for cycle, event in slow.iter_scheduled_events()
+            )
+            assert fast_events == slow_events
+
+    def test_drain_deadline_failure_reports_the_cycle_budget(self):
+        """A network that cannot empty (saturated source still injecting)
+        trips drain()'s deadline and the error names the budget."""
+        config = small_config(policy="history", rate=1.2, measure=1_500)
+        simulator = Simulator(config)
+        simulator.run_until(400)
+        assert simulator.flits_in_network() > 0
+        with pytest.raises(SimulationError, match="within 64 cycles"):
+            simulator.drain(max_cycles=64)
+
 
 class TestActiveRouterSet:
     def test_active_set_matches_legacy_full_scan(self):
@@ -126,18 +168,40 @@ class TestActiveRouterSet:
         modern = Simulator(config, fast_forward=False)
         assert to_json(legacy.run()) == to_json(modern.run())
 
-    def test_active_set_is_exactly_the_nonidle_routers(self):
+    def test_active_list_is_exactly_the_nonidle_routers(self):
         config = small_config(rate=0.3)
         simulator = Simulator(config)
         checkpoints = (10, 57, 200, 641)
         for target in checkpoints:
             simulator.run_until(target)
-            expected = {
+            expected = [
                 node
                 for node, router in enumerate(simulator.routers)
                 if not router.is_idle
-            }
-            assert simulator._active == expected
+            ]
+            assert simulator._active_list == expected
+            flagged = [
+                node
+                for node, flag in enumerate(simulator._active_flags)
+                if flag
+            ]
+            assert flagged == expected
+
+    def test_iter_active_routers_yields_ascending_node_order_midrun(self):
+        """The zero-copy active view stays sorted while the network is
+        busy — the order every consumer (sanitizer sweeps, the stepping
+        loop itself) relies on."""
+        config = small_config(policy="history", rate=0.9, measure=1_200)
+        simulator = Simulator(config)
+        seen_nonempty = 0
+        for target in (40, 150, 420, 700, 1_100):
+            simulator.run_until(target)
+            nodes = [router.node for router in simulator.iter_active_routers()]
+            assert nodes == sorted(nodes)
+            assert nodes == simulator._active_list
+            if nodes:
+                seen_nonempty += 1
+        assert seen_nonempty > 0
 
     def test_pending_source_counter_matches_brute_force(self):
         config = small_config(rate=0.8, measure=1_000)

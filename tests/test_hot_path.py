@@ -1,0 +1,233 @@
+"""White-box tests for the saturated hot path's scheduling structures.
+
+Covers the calendar-queue ring/spill split, event-record and flit pool
+recycling, the ``legacy_scan`` A/B toggle's state resynchronization, and
+the routers' direct (fast-queue) binding to the kernel's calendar ring.
+The bit-identity companion tests live in ``test_fast_forward.py``; here
+the assertions are structural — the right events in the right container,
+the same objects reused rather than reallocated, and exact bookkeeping
+equality between the modern kernel and a run that detoured through the
+legacy shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.router import EVENT_ARRIVAL, EVENT_CREDIT, EVENT_PHASE
+from repro.network.simulator import Simulator
+
+from .conftest import small_config
+
+
+def _credit_target(engine):
+    """A valid (node, out_port, credits) triple for hand-built events."""
+    spec = engine.channels[0].spec
+    credits = engine.routers[spec.src_node].credit_states[spec.src_port].credits
+    return spec.src_node, spec.src_port, credits
+
+
+class TestCalendarQueue:
+    def test_near_events_ride_the_ring_far_events_spill(self):
+        simulator = Simulator(small_config(rate=0.0))
+        mask = simulator._ring_mask
+        node, port, credits = _credit_target(simulator)
+        near = simulator.now + 3
+        far = simulator.now + mask + 10
+        simulator.schedule(near, [EVENT_CREDIT, node, port, 0, None])
+        simulator.schedule(far, [EVENT_CREDIT, node, port, 0, None])
+        assert len(simulator._ring[near & mask]) == 1
+        assert simulator._ring_count == 1
+        assert list(simulator._spill) == [far]
+        assert simulator._spill_min == far
+        assert simulator._pending_transport == 2
+
+        before = credits[0]
+        simulator.run_until(near)
+        assert credits[0] == before  # dispatches *during* step(near)
+        simulator.run_until(near + 1)
+        assert credits[0] == before + 1
+        assert simulator._ring_count == 0
+        simulator.run_until(far + 1)
+        assert credits[0] == before + 2
+        assert simulator._spill == {}
+        assert simulator._spill_min == math.inf
+        assert simulator._pending_transport == 0
+        # Both events sat inside otherwise dead air; the horizon saw them.
+        assert simulator.idle_cycles_skipped > 0
+
+    def test_spill_min_retracks_to_the_next_bucket(self):
+        simulator = Simulator(small_config(rate=0.0))
+        mask = simulator._ring_mask
+        node, port, _ = _credit_target(simulator)
+        far1 = simulator.now + mask + 5
+        far2 = simulator.now + 4 * (mask + 1)
+        simulator.schedule(far2, [EVENT_CREDIT, node, port, 0, None])
+        simulator.schedule(far1, [EVENT_CREDIT, node, port, 1, None])
+        assert simulator._spill_min == far1
+        simulator.run_until(far1 + 1)
+        assert simulator._spill_min == far2
+        simulator.run_until(far2 + 1)
+        assert simulator._spill_min == math.inf
+
+    def test_transport_never_touches_the_spill(self):
+        """The ring's near horizon covers pipeline latency + worst-case
+        serialization + credit delay, so under live traffic only far-future
+        DVS phase boundaries may spill — ARRIVAL/CREDIT events never do."""
+        config = small_config(policy="history", rate=0.9, measure=1_200)
+        simulator = Simulator(config)
+        saw_spill = 0
+        for target in (100, 300, 700, 1_100):
+            simulator.run_until(target)
+            for cycle in sorted(simulator._spill):
+                for event in simulator._spill[cycle]:
+                    saw_spill += 1
+                    assert event[0] == EVENT_PHASE
+            assert simulator._ring_count == sum(
+                len(bucket) for bucket in simulator._ring
+            )
+        assert saw_spill > 0  # DVS transitions actually spilled
+
+
+class TestPoolRecycling:
+    def test_event_records_are_recycled_into_new_schedules(self):
+        simulator = Simulator(small_config(rate=0.8), fast_forward=False)
+        simulator.run_until(400)
+        while not simulator._event_pool:
+            simulator.step()
+        pool_ids = {id(record) for record in simulator._event_pool}
+        simulator.run_until(simulator.now + 100)
+        live_ids = {id(event) for _, event in simulator.iter_scheduled_events()}
+        # Records freed by dispatch came back as newly scheduled events.
+        assert pool_ids & live_ids
+
+    def test_flits_are_recycled_through_the_pool(self):
+        simulator = Simulator(small_config(rate=0.8), fast_forward=False)
+        simulator.run_until(400)
+        while not simulator._flit_pool:
+            simulator.step()
+        released = {id(flit) for flit in simulator._flit_pool}
+        simulator.run_until(simulator.now + 100)
+        buffered = {
+            id(flit)
+            for router in simulator.routers
+            for _, _, vcstate in router.iter_vc_states()
+            for flit in vcstate.flits
+        }
+        in_flight = {
+            id(event[4])
+            for _, event in simulator.iter_scheduled_events()
+            if event[0] == EVENT_ARRIVAL
+        }
+        # Flits released at ejection re-entered the network at injection.
+        assert released & (buffered | in_flight)
+
+
+class TestLegacyScanToggle:
+    def test_toggle_unbinds_pools_and_fast_queue_then_rebinds(self):
+        simulator = Simulator(small_config(rate=0.5), fast_forward=False)
+        simulator.run_until(300)
+        simulator.legacy_scan = True
+        for router in simulator.routers:
+            assert router.event_pool is None
+            assert router.flit_pool is None
+            assert router._fast_ring is None
+        # Legacy scheduling bypasses the ring: one bucket per cycle in the
+        # spill dict, exactly the old bucket map.
+        node, port, _ = _credit_target(simulator)
+        target = simulator.now + 2
+        slot_before = len(simulator._ring[target & simulator._ring_mask])
+        simulator.schedule(target, (EVENT_CREDIT, node, port, 0, False))
+        assert len(simulator._ring[target & simulator._ring_mask]) == slot_before
+        assert target in simulator._spill
+
+        simulator.legacy_scan = False
+        for router in simulator.routers:
+            assert router.event_pool is simulator._event_pool
+            assert router.flit_pool is simulator._flit_pool
+            assert router._fast_ring is simulator._ring
+            assert router._fast_counters is simulator._counters
+        # Tuple records scheduled while legacy converted to 5-slot lists.
+        for _, event in simulator.iter_scheduled_events():
+            assert type(event) is list
+            assert len(event) == 5
+
+    def test_toggle_resyncs_the_occupied_vc_list(self):
+        simulator = Simulator(small_config(rate=0.6), fast_forward=False)
+        simulator.legacy_scan = True
+        simulator.run_until(400)
+        simulator.legacy_scan = False
+        busy = 0
+        for router in simulator.routers:
+            expected = sorted(
+                vcstate.rid
+                for _, _, vcstate in router.iter_vc_states()
+                if vcstate.flits
+            )
+            assert router._occ_list == expected
+            busy += len(expected)
+            for _, _, vcstate in router.iter_vc_states():
+                assert vcstate.in_occ == bool(vcstate.flits)
+        assert busy > 0  # the run left flits buffered, so the resync did work
+
+    def test_midrun_toggle_matches_a_pure_modern_run(self):
+        """Run the first half under the legacy kernel shape, toggle back,
+        finish under the modern one — every kernel-observable counter must
+        equal a run that never left the modern shape."""
+        config = small_config(policy="history", rate=0.4, measure=1_500)
+        toggled = Simulator(config, fast_forward=False)
+        toggled.legacy_scan = True
+        toggled.run_until(700)
+        toggled.legacy_scan = False
+        toggled.run_until(1_400)
+        pure = Simulator(config, fast_forward=False)
+        pure.run_until(1_400)
+        assert [r.flits_launched for r in toggled.routers] == [
+            r.flits_launched for r in pure.routers
+        ]
+        assert [r.packets_ejected for r in toggled.routers] == [
+            r.packets_ejected for r in pure.routers
+        ]
+        assert toggled._active_list == pure._active_list
+        assert toggled._pending_transport == pure._pending_transport
+        assert toggled.pending_source_packets() == pure.pending_source_packets()
+        assert sorted(
+            (cycle, event[0]) for cycle, event in toggled.iter_scheduled_events()
+        ) == sorted(
+            (cycle, event[0]) for cycle, event in pure.iter_scheduled_events()
+        )
+        for toggled_router, pure_router in zip(toggled.routers, pure.routers):
+            assert toggled_router._occ_list == pure_router._occ_list
+
+
+class TestFastQueueBinding:
+    def test_routers_share_the_kernels_ring_and_counters(self):
+        simulator = Simulator(small_config(rate=0.3))
+        for router in simulator.routers:
+            assert router._fast_ring is simulator._ring
+            assert router._fast_mask == simulator._ring_mask
+            assert router._fast_counters is simulator._counters
+
+    def test_unbound_routers_fall_back_to_schedule_bit_identically(self):
+        """With the fast queue unbound the routers launch through the
+        engine's schedule() callback instead — same events, same counters,
+        same simulation."""
+        config = small_config(policy="history", rate=0.4, measure=1_200)
+        unbound = Simulator(config, fast_forward=False)
+        for router in unbound.routers:
+            router.bind_fast_queue(None, 0, None)
+        bound = Simulator(config, fast_forward=False)
+        unbound.run_until(900)
+        bound.run_until(900)
+        assert [r.flits_launched for r in unbound.routers] == [
+            r.flits_launched for r in bound.routers
+        ]
+        assert [r.packets_ejected for r in unbound.routers] == [
+            r.packets_ejected for r in bound.routers
+        ]
+        assert unbound._counters == bound._counters
+        assert sorted(
+            (cycle, event[0]) for cycle, event in unbound.iter_scheduled_events()
+        ) == sorted(
+            (cycle, event[0]) for cycle, event in bound.iter_scheduled_events()
+        )

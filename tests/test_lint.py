@@ -186,6 +186,80 @@ class TestRuleR5:
         assert "BadConfig.payload" in violations[0].message
 
 
+class TestRuleR6:
+    def test_literal_in_marked_function_flagged(self):
+        source = """
+            def drain(events):  # repro-hot
+                out = []
+                for event in events:
+                    out.append(event)
+                return out
+            """
+        violations = _lint_source(source, "src/repro/network/engine.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "list literal" in violations[0].message
+        assert "'drain'" in violations[0].message
+
+    def test_marker_on_line_above_also_applies(self):
+        source = """
+            # repro-hot
+            def drain(events):
+                return {e: 1 for e in events}
+            """
+        violations = _lint_source(source, "src/repro/harness/x.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "dict comprehension" in violations[0].message
+
+    def test_unmarked_function_not_in_scope(self):
+        source = """
+            def setup(events):
+                return [e for e in events]
+            """
+        assert _lint_source(source, "src/repro/network/engine.py") == []
+
+    def test_constructor_calls_flagged(self):
+        source = """
+            from collections import deque
+
+            def refill(self):  # repro-hot
+                self.queue = deque()
+            """
+        violations = _lint_source(source, "src/repro/network/x.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "deque() constructor" in violations[0].message
+
+    def test_raise_subtrees_exempt(self):
+        source = """
+            def check(self, vc):  # repro-hot
+                if self.credits[vc] <= 0:
+                    raise ValueError(f"underflow: {[vc, self.credits]}")
+                self.credits[vc] -= 1
+            """
+        assert _lint_source(source, "src/repro/network/x.py") == []
+
+    def test_parallel_assignment_exempt_but_rhs_scanned(self):
+        clean = """
+            def swap(self):  # repro-hot
+                self.a, self.b = self.b, self.a
+            """
+        assert _lint_source(clean, "src/repro/network/x.py") == []
+        dirty = """
+            def unpack(self):  # repro-hot
+                self.a, self.b = self.b, [self.a]
+            """
+        violations = _lint_source(dirty, "src/repro/network/x.py")
+        assert [v.rule for v in violations] == ["R6"]
+
+    def test_store_context_tuple_unpacking_allowed(self):
+        source = """
+            def step(self, now):  # repro-hot
+                (alpha, beta) = self.hot
+                for key, value in self.pairs:
+                    alpha(key, value, now)
+            """
+        assert _lint_source(source, "src/repro/network/x.py") == []
+
+
 class TestSuppressions:
     def test_inline_ignore_suppresses_only_that_rule(self):
         source = """

@@ -46,6 +46,18 @@ class Harness:
                 port, NetworkChannel(spec, dvs, pipeline_latency), buffers_per_vc
             )
 
+    def place(self, flit, port=None, vc=0):
+        """Enqueue *flit* directly into an input VC, bypassing on_arrival.
+
+        White-box seeding must resynchronize the occupied-VC list the
+        router's step scans (on_arrival/_inject maintain it normally).
+        """
+        if port is None:
+            port = self.topology.local_port
+        self.router.in_vcs[port][vc].buffer.enqueue(flit, 0)
+        self.router.total_buffered += 1
+        self.router.resync_occupancy()
+
 
 class TestIdleAndInjection:
     def test_idle_initially(self):
@@ -72,10 +84,7 @@ class TestLaunch:
         flits = packet.make_flits()
         # Place the head directly in a network-facing... node 0 has only the
         # local port toward injection; use local input.
-        harness.router.in_vcs[harness.topology.local_port][0].buffer.enqueue(
-            flits[0], 0
-        )
-        harness.router.total_buffered += 1
+        harness.place(flits[0])
         harness.router.step(1)
         arrivals = [e for e in harness.events if e[1][0] == EVENT_ARRIVAL]
         assert len(arrivals) == 1
@@ -87,8 +96,7 @@ class TestLaunch:
         harness = Harness()
         packet = Packet(0, 1, 1, 0)
         (flit,) = packet.make_flits()
-        harness.router.in_vcs[harness.topology.local_port][0].buffer.enqueue(flit, 0)
-        harness.router.total_buffered += 1
+        harness.place(flit)
         out_port = harness.topology.plus_port(0)
         before = harness.router.credit_states[out_port].credits.copy()
         harness.router.step(1)
@@ -99,8 +107,7 @@ class TestLaunch:
         harness = Harness()
         packet = Packet(0, 1, 1, 0)  # single flit: head and tail
         (flit,) = packet.make_flits()
-        harness.router.in_vcs[harness.topology.local_port][0].buffer.enqueue(flit, 0)
-        harness.router.total_buffered += 1
+        harness.place(flit)
         out_port = harness.topology.plus_port(0)
         harness.router.step(1)
         assert all(harness.router.credit_states[out_port].vc_free)
@@ -113,8 +120,7 @@ class TestLaunch:
             state.consume(vc)
         packet = Packet(0, 1, 1, 0)
         (flit,) = packet.make_flits()
-        harness.router.in_vcs[harness.topology.local_port][0].buffer.enqueue(flit, 0)
-        harness.router.total_buffered += 1
+        harness.place(flit)
         harness.router.step(1)
         arrivals = [e for e in harness.events if e[1][0] == EVENT_ARRIVAL]
         assert not arrivals
