@@ -3,7 +3,7 @@
 The cycle kernel's performance work (active-router dirty set, event-horizon
 fast-forward, content-addressed sweep cache, allocation-free stepping) made
 correctness and performance depend on contracts that ordinary linters cannot
-see. This pass encodes them as six rules over the stdlib :mod:`ast` (no
+see. This pass encodes them as seven rules over the stdlib :mod:`ast` (no
 third-party dependencies):
 
 ``R1`` unseeded-randomness-or-wall-clock
@@ -51,6 +51,18 @@ third-party dependencies):
     unpackings to stack rotations, no tuple is materialized). The marker
     is opt-in, so the rule applies in every linted file.
 
+``R7`` harness-interrupt-safety
+    Harness code (``repro/harness/`` — the retry/checkpoint/resume layer)
+    must never let a broad handler absorb an interrupt: a handler
+    catching ``Exception``/``BaseException`` (or a bare ``except:``) must
+    either re-raise unconditionally (a top-level bare ``raise`` in its
+    body, the cleanup-then-reraise idiom) or be preceded in the same
+    ``try`` by handlers that re-raise ``KeyboardInterrupt`` and
+    ``SystemExit``. The explicit guard is required even for ``except
+    Exception`` so the contract survives refactors that broaden the
+    handler, and so Ctrl-C during a retry loop always aborts the sweep
+    instead of being retried.
+
 Suppressions
     Append ``# repro-lint: ignore[R2]`` (or ``ignore[R1,R4]``) to the
     flagged line. A file whose first ten lines contain
@@ -87,12 +99,15 @@ RULES = {
     "R4": "observer-skip-safety",
     "R5": "config-not-json-serializable",
     "R6": "hot-path-allocation",
+    "R7": "harness-interrupt-safety",
 }
 
 #: Path fragments selecting the files R1 applies to.
 R1_SCOPE = ("repro/network/", "repro/traffic/", "repro/core/")
 #: File names (under repro/network/) forming the R2 hot path.
 R2_FILES = ("engine.py", "router.py")
+#: Path fragments selecting the files R7 applies to.
+R7_SCOPE = ("repro/harness/",)
 
 #: Wall-clock call chains banned by R1.
 _WALL_CLOCK = frozenset(
@@ -138,6 +153,11 @@ _R6_CONSTRUCTORS = frozenset(
     {"list", "dict", "set", "frozenset", "tuple", "bytearray", "deque",
      "defaultdict", "Counter", "OrderedDict"}
 )
+#: Exception names R7 treats as dangerously broad when caught.
+_R7_BROAD = frozenset({"Exception", "BaseException"})
+#: The interrupts a broad handler must provably let through.
+_R7_INTERRUPTS = frozenset({"KeyboardInterrupt", "SystemExit"})
+
 #: Literal/comprehension node types R6 flags, with human-readable labels.
 _R6_LITERALS: tuple[tuple[type, str], ...] = (
     (ast.ListComp, "list comprehension"),
@@ -391,6 +411,8 @@ class Linter:
             yield from self._rule_r1(context)
         if "repro/network/" in path and path.rsplit("/", 1)[-1] in R2_FILES:
             yield from self._rule_r2(context)
+        if any(fragment in path for fragment in R7_SCOPE):
+            yield from self._rule_r7(context)
         yield from self._rule_r3(context)
         yield from self._rule_r4(context)
         yield from self._rule_r5(context)
@@ -522,6 +544,72 @@ class Linter:
                 "sorted(...) to pin the order"
             )
         return None
+
+    # -- R7: harness interrupt safety ------------------------------------
+
+    @staticmethod
+    def _handler_catches(handler: ast.ExceptHandler) -> frozenset[str]:
+        """Last-component exception names *handler* catches.
+
+        A bare ``except:`` catches everything, so it reports as
+        ``BaseException``.
+        """
+        if handler.type is None:
+            return frozenset({"BaseException"})
+        nodes = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        names = set()
+        for node in nodes:
+            name = _dotted(node)
+            if name is not None:
+                names.add(name.split(".")[-1])
+        return frozenset(names)
+
+    @staticmethod
+    def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+        """Whether the handler body unconditionally re-raises.
+
+        Only a bare ``raise`` directly in the handler body counts — a
+        re-raise nested under an ``if`` is conditional and proves
+        nothing.
+        """
+        return any(
+            isinstance(stmt, ast.Raise) and stmt.exc is None
+            for stmt in handler.body
+        )
+
+    def _rule_r7(self, context: _FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            reraised: set[str] = set()
+            for handler in node.handlers:
+                caught = self._handler_catches(handler)
+                reraises = self._handler_reraises(handler)
+                if caught & _R7_BROAD and not reraises:
+                    guarded = (
+                        "BaseException" in reraised
+                        or _R7_INTERRUPTS <= reraised
+                    )
+                    if not guarded:
+                        label = (
+                            "bare except:"
+                            if handler.type is None
+                            else f"except {ast.unparse(handler.type)}"
+                        )
+                        yield Violation(
+                            context.display_path, handler.lineno,
+                            handler.col_offset, "R7",
+                            f"broad handler ({label}) in harness code can "
+                            "absorb an interrupt; add 'except "
+                            "(KeyboardInterrupt, SystemExit): raise' before "
+                            "it or re-raise unconditionally in the handler",
+                        )
+                if reraises:
+                    reraised |= caught
 
     # -- R3: TrafficSource contract --------------------------------------
 

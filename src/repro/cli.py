@@ -28,10 +28,16 @@ from .errors import ReproError
 from .harness import cache as sweep_cache
 from .harness import experiments
 from .harness.backends import make_backend
+from .harness.resilience import FailureReport, RetryPolicy
 from .harness.runner import build_simulator
 from .harness.scales import get_scale
 from .harness.serialization import write_json
-from .harness.sweep import compare_policies, summarize_comparison
+from .harness.sweep import (
+    compare_policies,
+    require_resumable_cache,
+    resume_preview,
+    summarize_comparison,
+)
 from .harness.tables import render_table
 from .instrument.trace import TraceRecorder
 from .power.report import format_power_report
@@ -102,6 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (1 = serial)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore the on-disk sweep result cache")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted campaign: requires the sweep "
+                       "cache, replays checkpointed points, recomputes only "
+                       "the missing ones")
+    sweep.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="attempts per point before it counts as failed "
+                       "(default 2: one retry with backoff)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-point wall-clock budget; exceeding it fails "
+                       "the attempt (retried like any other failure)")
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="degrade to partial results plus a failure summary "
+                       "instead of aborting when points fail")
     sweep.set_defaults(func=cmd_sweep)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -110,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--json", default=None, help="also write rows to this path")
     figure.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk sweep result cache")
+    figure.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from the sweep "
+                        "cache (requires caching; reports replayed points)")
     figure.set_defaults(func=cmd_figure)
 
     return parser
@@ -189,10 +211,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return _cmd_sweep(args)
 
 
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
+    """A RetryPolicy from --retries/--timeout, or None for the default."""
+    if args.retries is None and args.timeout is None:
+        return None
+    overrides: dict[str, int | float] = {}
+    if args.retries is not None:
+        overrides["max_attempts"] = args.retries
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+    return RetryPolicy(**overrides)  # type: ignore[arg-type]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     rates = tuple(float(r) for r in args.rates.split(","))
     base = scale.simulation(rates[0], workload_overrides={"seed": args.seed})
+    named = {
+        "none": base.with_dvs(DVSControlConfig(policy="none")),
+        "history": base.with_dvs(DVSControlConfig(policy="history")),
+    }
+    if args.resume:
+        checkpointed, total = resume_preview(
+            config.with_rate(rate) for config in named.values() for rate in rates
+        )
+        print(
+            f"resume: {checkpointed}/{total} points already checkpointed, "
+            f"recomputing {total - checkpointed}",
+            file=sys.stderr,
+        )
+    report = FailureReport() if args.keep_going else None
     sweeps = compare_policies(
         base,
         rates,
@@ -200,8 +248,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "none": DVSControlConfig(policy="none"),
             "history": DVSControlConfig(policy="history"),
         },
-        backend=make_backend(args.processes),
+        backend=make_backend(args.processes, retry=_retry_policy(args)),
+        resume=args.resume,
+        failures=report,
     )
+    # Pair by target rate: with --keep-going a failed point leaves a gap in
+    # one sweep but not necessarily the other.
+    by_rate = {
+        name: {point.target_rate: point for point in points}
+        for name, points in sweeps.items()
+    }
+    common = [r for r in rates if r in by_rate["none"] and r in by_rate["history"]]
     rows = [
         (
             b.target_rate,
@@ -211,7 +268,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             round(d.normalized_power, 3),
             round(d.savings_factor, 2),
         )
-        for b, d in zip(sweeps["none"], sweeps["history"])
+        for b, d in ((by_rate["none"][r], by_rate["history"][r]) for r in common)
     ]
     print(
         render_table(
@@ -220,12 +277,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"DVS vs non-DVS sweep (scale={scale.name})",
         )
     )
-    summary = summarize_comparison(sweeps["none"], sweeps["history"])
-    print()
-    print(summary.describe())
+    if common:
+        summary = summarize_comparison(
+            [by_rate["none"][r] for r in common],
+            [by_rate["history"][r] for r in common],
+        )
+        print()
+        print(summary.describe())
     stats = _cache_stats_line()
     if stats:
         print(stats)
+    if report is not None and not report.ok:
+        print()
+        print(report.describe())
+        return 1 if report.failures else 0
     return 0
 
 
@@ -246,7 +311,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             f"note: {args.name} is analytical; --scale {args.scale} has no effect",
             file=sys.stderr,
         )
+    cache = require_resumable_cache() if args.resume else None
+    replayed_before = recomputed_before = 0
+    if cache is not None:
+        replayed_before, recomputed_before = cache.hits, cache.misses
     figure = FIGURES[args.name](scale)
+    if cache is not None:
+        print(
+            f"resume: {cache.hits - replayed_before} point(s) replayed from "
+            f"checkpoints, {cache.misses - recomputed_before} recomputed",
+            file=sys.stderr,
+        )
     print(figure.render())
     if args.json:
         write_json(

@@ -43,3 +43,21 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness invocation is invalid."""
+
+
+class SweepExecutionError(ExperimentError):
+    """One or more sweep points failed after retries were exhausted.
+
+    ``failures`` carries the structured per-point records
+    (:class:`~repro.harness.resilience.PointFailure`) so callers can
+    report exactly which configs failed and why, instead of digging
+    through an opaque worker traceback.
+    """
+
+    def __init__(self, message: str, failures: "tuple | list" = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class ChaosError(ReproError):
+    """A fault injected by the chaos harness (never raised in clean runs)."""

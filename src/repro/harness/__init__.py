@@ -14,20 +14,34 @@ from .backends import (
     default_backend,
     make_backend,
 )
+from .chaos import ChaosPlan
+from .resilience import FailureReport, PointFailure, RetryPolicy, run_point
 from .runner import build_simulator, run_simulation
 from .scales import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale, get_scale
-from .sweep import SweepPoint, compare_policies, rate_sweep, zero_load_latency
+from .sweep import (
+    SweepPoint,
+    compare_policies,
+    named_sweeps,
+    rate_sweep,
+    resume_preview,
+    zero_load_latency,
+)
 from .tables import render_table
 from .serialization import to_json, write_json
 
 __all__ = [
     "build_simulator",
     "run_simulation",
+    "run_point",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "make_backend",
     "default_backend",
+    "RetryPolicy",
+    "PointFailure",
+    "FailureReport",
+    "ChaosPlan",
     "ExperimentScale",
     "SMOKE_SCALE",
     "DEFAULT_SCALE",
@@ -36,6 +50,8 @@ __all__ = [
     "SweepPoint",
     "rate_sweep",
     "compare_policies",
+    "named_sweeps",
+    "resume_preview",
     "zero_load_latency",
     "render_table",
     "to_json",

@@ -15,57 +15,130 @@ decision. Set the ``REPRO_PROCESSES`` environment variable to make every
 backend-unaware sweep (including all of
 :mod:`repro.harness.experiments`) fan out transparently.
 
+Failure semantics (see :mod:`repro.harness.resilience`): every point runs
+under a :class:`~repro.harness.resilience.RetryPolicy` — bounded retries
+with deterministic backoff, optional per-point timeout, interrupts always
+re-raised. :meth:`ExecutionBackend.run` returns partial results plus a
+:class:`~repro.harness.resilience.FailureReport`;
+:meth:`ExecutionBackend.map_configs` is the strict wrapper that raises a
+structured :class:`~repro.errors.SweepExecutionError` when any point is
+lost. The process pool isolates worker crashes: a ``BrokenProcessPool``
+respawns the pool and resubmits only the chunks that died with it.
+
 Both backends consult the sweep result cache (:mod:`repro.harness.cache`)
 before running anything: previously simulated configs are answered from
-disk, only the misses are executed (serially or in the pool), and fresh
-results are stored for next time. Caching does not change results — a
-cached entry is the pickled result of the identical simulation — and is
+disk, only the misses are executed, and fresh results are *checkpointed
+incrementally* — the serial path stores each point as it is computed, the
+pool stores each chunk as it completes — so an interrupted campaign can
+be resumed from the cache. Caching does not change results and is
 disabled entirely via ``REPRO_CACHE=off`` or the CLI's ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, cast
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
 from ..network.simulator import SimulationResult
-from .cache import get_cache
+from .cache import SweepCache, get_cache
+from .resilience import (
+    DEFAULT_RETRY_POLICY,
+    FailureReport,
+    PointFailure,
+    RetryPolicy,
+    run_chunk,
+    run_point,
+)
 from .runner import run_simulation
 
 
 class ExecutionBackend:
     """Maps a batch of simulation configs to results, preserving order."""
 
+    def run(
+        self, configs: Iterable[SimulationConfig]
+    ) -> tuple[list[Optional[SimulationResult]], FailureReport]:
+        """Run every config, degrading failed points to ``None`` holes.
+
+        Returns the results in input order plus the
+        :class:`FailureReport` explaining every hole (and every recovered
+        incident). Never raises for per-point faults.
+        """
+        raise NotImplementedError
+
     def map_configs(
         self, configs: Iterable[SimulationConfig]
     ) -> list[SimulationResult]:
-        """Run every config and return the results in input order."""
-        raise NotImplementedError
+        """Strict variant of :meth:`run`: all results or a structured error.
+
+        Raises :class:`~repro.errors.SweepExecutionError` (with the
+        per-point :class:`PointFailure` records attached) when any point
+        failed after retries.
+        """
+        results, report = self.run(configs)
+        report.raise_if_failures(total=len(results))
+        return cast("list[SimulationResult]", results)
 
 
 class SerialBackend(ExecutionBackend):
     """Runs the batch in-process, one simulation at a time."""
 
-    def map_configs(
+    def __init__(self, *, retry: Optional[RetryPolicy] = None) -> None:
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+
+    def run(
         self, configs: Iterable[SimulationConfig]
-    ) -> list[SimulationResult]:
+    ) -> tuple[list[Optional[SimulationResult]], FailureReport]:
         configs = list(configs)
+        report = FailureReport()
         cache = get_cache()
         if cache is None:
-            return [run_simulation(config) for config in configs]
-        return cache.map_cached(
-            configs, lambda missing: [run_simulation(config) for config in missing]
+            return [self._point(config, report) for config in configs], report
+        results = cache.map_cached(
+            configs,
+            lambda missing: (self._point(config, report) for config in missing),
         )
+        return results, report
+
+    def _point(
+        self, config: SimulationConfig, report: FailureReport
+    ) -> Optional[SimulationResult]:
+        # run_simulation is resolved through the module global on purpose:
+        # tests monkeypatch repro.harness.backends.run_simulation.
+        result, failure = run_point(config, self.retry, runner=run_simulation)
+        if failure is not None:
+            report.record(failure)
+        return result
 
     def __repr__(self) -> str:
-        return "SerialBackend()"
+        if self.retry is DEFAULT_RETRY_POLICY:
+            return "SerialBackend()"
+        return f"SerialBackend(retry={self.retry!r})"
+
+
+@dataclass
+class _Chunk:
+    """One submitted work unit: a slice of configs plus their positions."""
+
+    configs: list[SimulationConfig]
+    indices: list[int]
 
 
 class ProcessPoolBackend(ExecutionBackend):
     """Fans the batch out over a :class:`ProcessPoolExecutor`.
+
+    Chunks are submitted individually (``submit`` + wait, not
+    ``pool.map``), which buys three things: results checkpoint to the
+    sweep cache as each chunk completes, a raising config comes back as a
+    :class:`PointFailure` for just that point, and a worker crash
+    (``BrokenProcessPool``) is isolated — the pool is respawned and only
+    the chunks that died with it are resubmitted, up to
+    ``max_pool_respawns`` times.
 
     ``chunksize`` controls how many configs each worker receives per IPC
     round-trip; the default sizes chunks so each worker sees ~4 of them
@@ -74,37 +147,187 @@ class ProcessPoolBackend(ExecutionBackend):
     serial path (no pool spawn).
     """
 
-    def __init__(self, processes: int = 4, *, chunksize: int | None = None) -> None:
+    def __init__(
+        self,
+        processes: int = 4,
+        *,
+        chunksize: int | None = None,
+        retry: Optional[RetryPolicy] = None,
+        max_pool_respawns: int = 3,
+    ) -> None:
         if processes < 1:
             raise ExperimentError("need at least one process")
         if chunksize is not None and chunksize < 1:
             raise ExperimentError("chunksize must be positive")
+        if max_pool_respawns < 0:
+            raise ExperimentError("max_pool_respawns cannot be negative")
         self.processes = processes
         self.chunksize = chunksize
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+        self.max_pool_respawns = max_pool_respawns
 
-    def map_configs(
+    def run(
         self, configs: Iterable[SimulationConfig]
-    ) -> list[SimulationResult]:
+    ) -> tuple[list[Optional[SimulationResult]], FailureReport]:
         configs = list(configs)
+        report = FailureReport()
         if not configs:
-            return []
+            return [], report
         cache = get_cache()
         if cache is None:
-            return self._run_batch(configs)
-        return cache.map_cached(configs, self._run_batch)
+            results: list[Optional[SimulationResult]] = [None] * len(configs)
+            self._execute(configs, list(range(len(configs))), results, report, None)
+            return results, report
+        results, miss_indices, miss_configs = cache.partition(configs)
+        if miss_configs:
+            self._execute(miss_configs, miss_indices, results, report, cache)
+        return results, report
 
-    def _run_batch(
-        self, configs: list[SimulationConfig]
-    ) -> list[SimulationResult]:
-        if not configs:
-            return []
-        if self.processes == 1:
-            return [run_simulation(config) for config in configs]
+    # -- execution --------------------------------------------------------
+
+    def _chunks(
+        self, configs: list[SimulationConfig], indices: list[int]
+    ) -> Iterator[_Chunk]:
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(configs) // (self.processes * 4))
-        with ProcessPoolExecutor(max_workers=self.processes) as pool:
-            return list(pool.map(run_simulation, configs, chunksize=chunksize))
+        for start in range(0, len(configs), chunksize):
+            stop = start + chunksize
+            yield _Chunk(configs[start:stop], indices[start:stop])
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.processes)
+
+    def _execute(
+        self,
+        configs: list[SimulationConfig],
+        indices: list[int],
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+    ) -> None:
+        """Run *configs*, writing ``results[indices[i]]`` as work lands.
+
+        Every completed point is checkpointed to *cache* immediately, so
+        whatever interrupts the batch, finished work survives.
+        """
+        if self.processes == 1:
+            for config, index in zip(configs, indices):
+                result, failure = run_point(config, self.retry, runner=run_simulation)
+                if failure is not None:
+                    report.record(failure)
+                if result is not None and cache is not None:
+                    cache.store(config, result)
+                results[index] = result
+            return
+
+        pool = self._spawn()
+        pending: dict[Future, _Chunk] = {}
+        respawns = 0
+        try:
+            for chunk in self._chunks(configs, indices):
+                pending[pool.submit(run_chunk, chunk.configs, self.retry)] = chunk
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                lost: list[_Chunk] = []
+                for future in done:
+                    self._settle(future, pending.pop(future), results, report,
+                                 cache, lost)
+                if not lost:
+                    continue
+                # The pool is broken: every other in-flight future dies
+                # with it (already-finished ones still return fine).
+                for future, chunk in list(pending.items()):
+                    self._settle(future, chunk, results, report, cache, lost)
+                pending.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                respawns += 1
+                if respawns > self.max_pool_respawns:
+                    for chunk in lost:
+                        self._fail_chunk(
+                            chunk, report, outcome="worker-crash",
+                            attempts=respawns,
+                            error=(
+                                "worker pool broke "
+                                f"{respawns} times; giving up on this chunk"
+                            ),
+                        )
+                    continue
+                pool = self._spawn()
+                for chunk in lost:
+                    report.record(
+                        PointFailure(
+                            fingerprint=chunk.configs[0].fingerprint(),
+                            outcome="worker-crash",
+                            attempts=respawns,
+                            error=(
+                                "BrokenProcessPool: chunk lost with the "
+                                "pool; respawned and resubmitted"
+                            ),
+                            recovered=True,
+                            points=len(chunk.configs),
+                        )
+                    )
+                    pending[pool.submit(run_chunk, chunk.configs, self.retry)] = chunk
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _settle(
+        self,
+        future: Future,
+        chunk: _Chunk,
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+        lost: list[_Chunk],
+    ) -> None:
+        """Fold one finished future into results/report (or mark it lost)."""
+        try:
+            outcomes = future.result()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BrokenProcessPool:
+            lost.append(chunk)
+            return
+        except Exception as exc:
+            # Submit-side failures (e.g. results that cannot unpickle):
+            # the chunk is charged, the rest of the batch proceeds.
+            self._fail_chunk(
+                chunk, report, outcome="executor", attempts=1, error=repr(exc)
+            )
+            return
+        if len(outcomes) != len(chunk.configs):
+            raise ExperimentError(
+                f"worker returned {len(outcomes)} results for a chunk of "
+                f"{len(chunk.configs)} configs"
+            )
+        for (result, failure), config, index in zip(
+            outcomes, chunk.configs, chunk.indices
+        ):
+            if failure is not None:
+                report.record(failure)
+            if result is not None and cache is not None:
+                cache.store(config, result)
+            results[index] = result
+
+    @staticmethod
+    def _fail_chunk(
+        chunk: _Chunk,
+        report: FailureReport,
+        *,
+        outcome: str,
+        attempts: int,
+        error: str,
+    ) -> None:
+        for config in chunk.configs:
+            report.record(
+                PointFailure(
+                    fingerprint=config.fingerprint(),
+                    outcome=outcome,
+                    attempts=attempts,
+                    error=error,
+                )
+            )
 
     def __repr__(self) -> str:
         return (
@@ -114,17 +337,20 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def make_backend(
-    processes: int | None = None, *, chunksize: int | None = None
+    processes: int | None = None,
+    *,
+    chunksize: int | None = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ExecutionBackend:
     """Backend for *processes* workers (``None``/``0``/``1`` = serial)."""
     if processes is not None and processes < 0:
         raise ExperimentError("process count cannot be negative")
     if not processes or processes == 1:
-        return SerialBackend()
-    return ProcessPoolBackend(processes, chunksize=chunksize)
+        return SerialBackend(retry=retry)
+    return ProcessPoolBackend(processes, chunksize=chunksize, retry=retry)
 
 
-def default_backend() -> ExecutionBackend:
+def default_backend(*, retry: Optional[RetryPolicy] = None) -> ExecutionBackend:
     """The backend selected by the ``REPRO_PROCESSES`` environment variable.
 
     Unset, empty, or ``1`` means serial — the safe default for tests and
@@ -132,11 +358,11 @@ def default_backend() -> ExecutionBackend:
     """
     raw = os.environ.get("REPRO_PROCESSES", "").strip()
     if not raw:
-        return SerialBackend()
+        return SerialBackend(retry=retry)
     try:
         processes = int(raw)
     except ValueError as exc:
         raise ExperimentError(
             f"REPRO_PROCESSES must be an integer, got {raw!r}"
         ) from exc
-    return make_backend(processes)
+    return make_backend(processes, retry=retry)

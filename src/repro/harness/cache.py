@@ -17,11 +17,22 @@ Key construction
 
 Safety
     Entries verify their stored fingerprint on load (hash collisions and
-    stale schema both degrade to a miss), corrupt or unreadable files are
-    misses, and writes go through a temp file + ``os.replace`` so
-    concurrent sweep processes never observe a torn entry. Store failures
-    are swallowed: a read-only cache directory slows a sweep down, it
-    never breaks one.
+    stale schema both degrade to a miss), and writes go through a temp
+    file + ``os.replace`` so concurrent sweep processes never observe a
+    torn entry. Store failures are swallowed: a read-only cache directory
+    slows a sweep down, it never breaks one. A corrupt or unreadable
+    entry is *quarantined* — renamed to ``<key>.corrupt`` and counted in
+    :attr:`SweepCache.corrupted` — so it is recomputed exactly once
+    instead of being silently re-parsed (and re-missed) forever.
+
+Checkpointing
+    :meth:`SweepCache.map_cached` consumes the backend's results as a
+    stream and stores each one the moment it is produced, so an interrupt
+    or crash at point 99/100 keeps the 99 computed results. The process
+    pool backend goes further and stores each chunk as it completes (out
+    of completion order); either way, re-running an interrupted campaign
+    — e.g. via the CLI's ``--resume`` — replays finished points from disk
+    and recomputes only the missing ones.
 
 Escape hatches
     ``REPRO_CACHE=off`` (also ``0``/``no``/``none``/``disabled``)
@@ -42,6 +53,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
+from .chaos import inject_store_fault
 
 #: Environment variable controlling the cache location (or disabling it).
 CACHE_ENV = "REPRO_CACHE"
@@ -61,6 +73,7 @@ class SweepCache:
         self.epoch = epoch
         self.hits = 0
         self.misses = 0
+        self.corrupted = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -81,31 +94,58 @@ class SweepCache:
 
     # -- single-entry operations ----------------------------------------
 
+    def contains(self, config: SimulationConfig) -> bool:
+        """Whether an entry file exists for *config*.
+
+        A cheap existence probe (no integrity check, no counter bumps)
+        for resume previews; the authoritative answer is :meth:`load`.
+        """
+        return self.entry_path(config).is_file()
+
     def load(self, config: SimulationConfig) -> object | None:
-        """The cached result for *config*, or ``None`` on any miss."""
+        """The cached result for *config*, or ``None`` on any miss.
+
+        An entry that exists but cannot be read back (torn write, disk
+        corruption, stale pickle schema, fingerprint mismatch) is
+        quarantined via :meth:`_quarantine` rather than silently skipped,
+        so the recompute-and-store that follows repairs the cache.
+        """
         fingerprint = config.fingerprint()
         path = self._path(fingerprint)
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.PickleError, EOFError, AttributeError,
                 ImportError, IndexError):
+            self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("fingerprint") != fingerprint:
+            self._quarantine(path)
             return None
         return entry.get("result")
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside as ``<key>.corrupt`` and count it."""
+        self.corrupted += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
     def store(self, config: SimulationConfig, result: object) -> None:
         """Persist *result* for *config*; best-effort (never raises OSError)."""
+        fingerprint = config.fingerprint()
         payload = pickle.dumps(
             {
                 "epoch": self.epoch,
-                "fingerprint": config.fingerprint(),
+                "fingerprint": fingerprint,
                 "result": result,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        path = self.entry_path(config)
+        path = self._path(fingerprint)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
@@ -119,21 +159,22 @@ class SweepCache:
                 except OSError:
                     pass
                 raise
+            inject_store_fault(fingerprint, path)
         except OSError:
             pass
 
     # -- batch operation (the backend entry point) -----------------------
 
-    def map_cached(
-        self,
-        configs: Sequence[SimulationConfig],
-        run_batch: Callable[[list[SimulationConfig]], Iterable],
-    ) -> list:
-        """Results for *configs* in order, computing only the misses.
+    def partition(
+        self, configs: Sequence[SimulationConfig]
+    ) -> tuple[list, list[int], list[SimulationConfig]]:
+        """Split *configs* into cached results and misses.
 
-        *run_batch* receives the missing configs (input order preserved)
-        and must return one result per config; freshly computed results
-        are stored before returning.
+        Returns ``(results, miss_indices, miss_configs)`` where *results*
+        has the cached value at every hit index and ``None`` holes at the
+        miss indices; hit/miss counters are updated. Backends fill the
+        holes themselves when they need finer control (e.g. per-chunk
+        checkpointing) than :meth:`map_cached` offers.
         """
         configs = list(configs)
         results: list = [None] * len(configs)
@@ -148,21 +189,50 @@ class SweepCache:
             else:
                 self.hits += 1
                 results[index] = cached
+        return results, miss_indices, miss_configs
+
+    def map_cached(
+        self,
+        configs: Sequence[SimulationConfig],
+        run_batch: Callable[[list[SimulationConfig]], Iterable],
+    ) -> list:
+        """Results for *configs* in order, computing only the misses.
+
+        *run_batch* receives the missing configs (input order preserved)
+        and must yield one result per config. The stream is consumed
+        lazily and every freshly computed result is stored the moment it
+        is produced — an interrupt or crash mid-batch keeps all completed
+        work on disk. A ``None`` result (the backends' marker for a point
+        that failed after retries) is passed through but never persisted.
+        """
+        results, miss_indices, miss_configs = self.partition(configs)
         if miss_configs:
-            computed = list(run_batch(miss_configs))
-            if len(computed) != len(miss_configs):
+            produced = 0
+            for result in run_batch(miss_configs):
+                if produced >= len(miss_configs):
+                    raise ExperimentError(
+                        f"backend produced more than {len(miss_configs)} "
+                        "results for the missing configs"
+                    )
+                if result is not None:
+                    self.store(miss_configs[produced], result)
+                results[miss_indices[produced]] = result
+                produced += 1
+            if produced != len(miss_configs):
                 raise ExperimentError(
-                    f"backend returned {len(computed)} results for "
+                    f"backend returned {produced} results for "
                     f"{len(miss_configs)} configs"
                 )
-            for index, config, result in zip(miss_indices, miss_configs, computed):
-                self.store(config, result)
-                results[index] = result
         return results
 
     def describe(self) -> str:
         """One-line human summary for sweep output."""
-        return f"{self.hits} hits, {self.misses} misses ({self.root})"
+        quarantined = (
+            f", {self.corrupted} corrupted entries quarantined"
+            if self.corrupted
+            else ""
+        )
+        return f"{self.hits} hits, {self.misses} misses{quarantined} ({self.root})"
 
     def __repr__(self) -> str:
         return f"SweepCache(root={str(self.root)!r}, epoch={self.epoch!r})"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import DVSControlConfig
+from ..config import DVSControlConfig, SimulationConfig
 from ..core.thresholds import TABLE2_SETTINGS
 from ..errors import ExperimentError
 from ..power.router_power import RouterPowerProfile
@@ -22,6 +22,7 @@ from .scales import DEFAULT_SCALE, ExperimentScale
 from .sweep import (
     SweepPoint,
     compare_policies,
+    named_sweeps,
     rate_sweep,
     summarize_comparison,
 )
@@ -485,11 +486,16 @@ def _transition_sweep(
     task_duration_s: float,
     rates: tuple[float, ...],
 ) -> FigureResult:
-    """Shared machinery for Figures 16 and 17: one curve per link variant."""
-    sweeps: dict[str, list[SweepPoint]] = {}
+    """Shared machinery for Figures 16 and 17: one curve per link variant.
+
+    All curves run as ONE batched campaign (:func:`named_sweeps`), so a
+    process pool parallelizes across variants and the sweep cache
+    checkpoints the whole figure incrementally.
+    """
+    named: dict[str, SimulationConfig] = {}
     for name, link_overrides in curves.items():
         if link_overrides is None:  # the non-DVS reference curve
-            config = scale.simulation(
+            named[name] = scale.simulation(
                 rates[0],
                 policy="none",
                 workload_overrides={
@@ -498,7 +504,7 @@ def _transition_sweep(
                 },
             )
         else:
-            config = scale.simulation(
+            named[name] = scale.simulation(
                 rates[0],
                 workload_overrides={
                     "average_tasks": 100,
@@ -506,7 +512,7 @@ def _transition_sweep(
                 },
                 link_overrides=link_overrides,
             )
-        sweeps[name] = rate_sweep(config, rates)
+    sweeps = named_sweeps(named, rates)
     names = list(sweeps)
     rows = [
         (
@@ -795,7 +801,7 @@ def ablation_ideal_links(
     from the cost of running links slower at all.
     """
     rates = rates if rates is not None else scale.sweep_rates
-    sweeps: dict[str, list[SweepPoint]] = {}
+    named: dict[str, SimulationConfig] = {}
     for name, link_overrides in (
         ("conservative", None),
         (
@@ -809,12 +815,13 @@ def ablation_ideal_links(
             },
         ),
     ):
-        config = scale.simulation(
+        named[name] = scale.simulation(
             rates[0],
             workload_overrides={"average_tasks": 100},
             link_overrides=link_overrides or {},
         )
-        sweeps[name] = rate_sweep(config, rates)
+    # One batched campaign: both curves parallelize and checkpoint together.
+    sweeps = named_sweeps(named, rates)
     rows = [
         (
             rate,

@@ -11,15 +11,22 @@ these wrappers only translate the knob into a backend.
 Determinism: each point is fully described by its (picklable, frozen)
 :class:`~repro.config.SimulationConfig`, so parallel results are
 bit-identical to serial ones, point for point.
+
+Resilience: the pool isolates worker crashes (the lost chunks are
+resubmitted to a respawned pool), retries raising points under *retry*
+(a :class:`~repro.harness.resilience.RetryPolicy`), and checkpoints each
+completed chunk to the sweep cache, so an interrupted parallel campaign
+resumes from disk — see :mod:`repro.harness.resilience`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
 from .backends import make_backend
+from .resilience import FailureReport, RetryPolicy
 from .sweep import SweepPoint, compare_policies, rate_sweep
 
 
@@ -29,12 +36,17 @@ def parallel_rate_sweep(
     *,
     processes: int = 4,
     chunksize: int | None = None,
+    retry: Optional[RetryPolicy] = None,
+    resume: bool = False,
+    failures: Optional[FailureReport] = None,
 ) -> list[SweepPoint]:
     """:func:`repro.harness.sweep.rate_sweep`, across processes."""
     if processes < 1:
         raise ExperimentError("need at least one process")
-    backend = make_backend(processes, chunksize=chunksize)
-    return rate_sweep(base_config, rates, backend=backend)
+    backend = make_backend(processes, chunksize=chunksize, retry=retry)
+    return rate_sweep(
+        base_config, rates, backend=backend, resume=resume, failures=failures
+    )
 
 
 def parallel_compare_policies(
@@ -44,11 +56,21 @@ def parallel_compare_policies(
     *,
     processes: int = 4,
     chunksize: int | None = None,
+    retry: Optional[RetryPolicy] = None,
+    resume: bool = False,
+    failures: Optional[FailureReport] = None,
 ) -> dict[str, list[SweepPoint]]:
     """:func:`repro.harness.sweep.compare_policies`, across processes."""
     if processes < 1:
         raise ExperimentError("need at least one process")
     if not policies:
         raise ExperimentError("need at least one policy")
-    backend = make_backend(processes, chunksize=chunksize)
-    return compare_policies(base_config, rates, policies, backend=backend)
+    backend = make_backend(processes, chunksize=chunksize, retry=retry)
+    return compare_policies(
+        base_config,
+        rates,
+        policies,
+        backend=backend,
+        resume=resume,
+        failures=failures,
+    )

@@ -1,0 +1,261 @@
+"""Retry policies and structured failure records for sweep execution.
+
+One OOM-killed worker, one raising config, or one Ctrl-C used to lose an
+entire figure campaign. This module is the failure model the execution
+backends (:mod:`repro.harness.backends`) build on instead:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *seeded deterministic* jitter, plus an optional per-point wall-clock
+  timeout. ``KeyboardInterrupt``/``SystemExit`` are always re-raised, so
+  a retry wrapper can never eat an interrupt (lint rule R7 enforces the
+  same contract statically for all harness code).
+* :class:`PointFailure` — the structured record of one failed (or
+  recovered) point: config fingerprint, attempt count, exception repr,
+  and the worker outcome. Sweeps degrade gracefully to partial results
+  plus an explicit :class:`FailureReport` instead of an opaque traceback.
+* :func:`run_point` / :func:`run_chunk` — the resilient single-point and
+  per-chunk primitives both backends execute; chaos faults
+  (:mod:`repro.harness.chaos`) are injected here, never inside the pure
+  simulation path, so golden bit-identity is untouched.
+
+Determinism: retries only re-run a *failed* point, backoff jitter is a
+pure function of ``(seed, fingerprint, attempt)``, and a recovered point
+returns the exact result an undisturbed run would have produced — so
+sweeps that survive faults stay bit-identical to fault-free runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError, SweepExecutionError
+from ..network.simulator import SimulationResult
+from .chaos import inject_point_fault
+from .runner import run_simulation
+
+
+class PointTimeout(Exception):
+    """Internal: a point exceeded its per-point wall-clock budget."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded, deterministic retry behavior for one sweep point.
+
+    ``max_attempts`` counts the first try: ``1`` disables retries. The
+    delay before retry *n* (1-based) is
+    ``backoff_base_s * backoff_factor ** (n - 1)``, shrunk by up to
+    ``jitter`` (a fraction in ``[0, 1]``) using a generator seeded from
+    ``(jitter_seed, fingerprint, n)`` — the same point always backs off
+    identically, but different points decorrelate. ``timeout_s`` bounds
+    one attempt's wall clock (enforced with ``SIGALRM``, so it is a no-op
+    off the main thread or on platforms without it).
+    """
+
+    max_attempts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    jitter_seed: int = 0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0:
+            raise ExperimentError("backoff_base_s cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ExperimentError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ExperimentError("jitter must be within [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ExperimentError("timeout_s must be positive when set")
+
+    def delay_s(self, fingerprint: str, retry: int) -> float:
+        """Seconds to wait before retry number *retry* (1-based)."""
+        if retry < 1:
+            raise ExperimentError("retry number is 1-based")
+        base = self.backoff_base_s * self.backoff_factor ** (retry - 1)
+        if not self.jitter or not base:
+            return base
+        rng = Random(f"{self.jitter_seed}:{fingerprint}:{retry}")
+        return base * (1.0 - self.jitter * rng.random())
+
+
+#: The policy backends use when none is given: one retry, tiny backoff,
+#: no per-point timeout. Deterministic failures fail fast; transient ones
+#: (a chaos fault, a flaky worker) get exactly one second chance.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True, slots=True)
+class PointFailure:
+    """What happened to one sweep point that did not run cleanly.
+
+    ``recovered`` distinguishes an *incident* (a retry or pool respawn
+    eventually produced the result) from a fatal failure (the point has
+    no result). ``points`` is 1 except for worker-crash records, which
+    describe a whole lost chunk.
+    """
+
+    fingerprint: str
+    outcome: str  # "raised" | "timeout" | "worker-crash" | "executor"
+    attempts: int
+    error: str
+    recovered: bool = False
+    points: int = 1
+
+    def describe(self) -> str:
+        state = "recovered" if self.recovered else "failed"
+        span = f"{self.points} points" if self.points > 1 else "point"
+        # Fingerprints are canonical JSON; hash for a usable short id
+        # (prefixes of the JSON are shared across most points).
+        short = hashlib.sha256(self.fingerprint.encode("utf-8")).hexdigest()[:12]
+        return (
+            f"{span} {short}: {state} ({self.outcome}) "
+            f"after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass
+class FailureReport:
+    """Aggregated failures and recovered incidents for one sweep."""
+
+    failures: list[PointFailure] = field(default_factory=list)
+    incidents: list[PointFailure] = field(default_factory=list)
+
+    def record(self, failure: PointFailure) -> None:
+        (self.incidents if failure.recovered else self.failures).append(failure)
+
+    def merge(self, other: "FailureReport") -> None:
+        self.failures.extend(other.failures)
+        self.incidents.extend(other.incidents)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point produced a result (incidents are fine)."""
+        return not self.failures
+
+    def raise_if_failures(self, total: Optional[int] = None) -> None:
+        """Raise :class:`SweepExecutionError` when any point has no result."""
+        if not self.failures:
+            return
+        lost = sum(f.points for f in self.failures)
+        of_total = f" of {total}" if total is not None else ""
+        lines = "\n".join(f"  - {f.describe()}" for f in self.failures)
+        raise SweepExecutionError(
+            f"{lost}{of_total} sweep point(s) failed after retries:\n{lines}",
+            failures=self.failures,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human summary (empty string when nothing happened)."""
+        lines: list[str] = []
+        if self.failures:
+            lines.append(f"{len(self.failures)} point(s) failed:")
+            lines.extend(f"  - {f.describe()}" for f in self.failures)
+        if self.incidents:
+            lines.append(f"{len(self.incidents)} incident(s) recovered:")
+            lines.extend(f"  - {f.describe()}" for f in self.incidents)
+        return "\n".join(lines)
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`PointTimeout` if the block exceeds *seconds*.
+
+    Uses ``SIGALRM``/``setitimer``, which only works on the main thread
+    of a process (true for serial runs and for pool worker processes);
+    anywhere else the deadline is silently not enforced.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _trip(signum: int, frame: object) -> None:
+        raise PointTimeout(f"point exceeded {seconds:g}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _trip)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_point(
+    config: SimulationConfig,
+    policy: Optional[RetryPolicy] = None,
+    *,
+    runner: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[Optional[SimulationResult], Optional[PointFailure]]:
+    """Run one point under *policy*; never raises for per-point faults.
+
+    Returns ``(result, None)`` on a clean first attempt,
+    ``(result, incident)`` when a retry recovered the point, and
+    ``(None, failure)`` when every attempt failed.
+    ``KeyboardInterrupt``/``SystemExit`` always propagate immediately.
+    """
+    if policy is None:
+        policy = DEFAULT_RETRY_POLICY
+    if runner is None:
+        runner = run_simulation
+    fingerprint = config.fingerprint()
+    outcome = "raised"
+    error = ""
+    for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            sleep(policy.delay_s(fingerprint, attempt - 1))
+        try:
+            with _deadline(policy.timeout_s):
+                inject_point_fault(fingerprint)
+                result = runner(config)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except PointTimeout as exc:
+            outcome, error = "timeout", str(exc)
+        except Exception as exc:
+            outcome, error = "raised", repr(exc)
+        else:
+            incident = None
+            if attempt > 1:
+                incident = PointFailure(
+                    fingerprint=fingerprint,
+                    outcome=outcome,
+                    attempts=attempt,
+                    error=error,
+                    recovered=True,
+                )
+            return result, incident
+    return None, PointFailure(
+        fingerprint=fingerprint,
+        outcome=outcome,
+        attempts=policy.max_attempts,
+        error=error,
+    )
+
+
+def run_chunk(
+    configs: Sequence[SimulationConfig], policy: RetryPolicy
+) -> list[tuple[Optional[SimulationResult], Optional[PointFailure]]]:
+    """The process-pool work unit: :func:`run_point` over one chunk.
+
+    Top-level (picklable) on purpose — :class:`ProcessPoolBackend`
+    submits this per chunk so a raising point inside a worker comes back
+    as a :class:`PointFailure` instead of poisoning the whole batch.
+    """
+    return [run_point(config, policy) for config in configs]

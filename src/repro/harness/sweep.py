@@ -9,19 +9,31 @@ Sweeps execute through an :class:`~repro.harness.backends.ExecutionBackend`,
 which memoizes per-config results on disk (:mod:`repro.harness.cache`):
 re-running a sweep only simulates points whose exact config has never been
 run under the current code epoch. Results are bit-identical either way.
+
+Failure semantics: by default a point that fails after retries aborts the
+sweep with a structured :class:`~repro.errors.SweepExecutionError`. Pass a
+:class:`~repro.harness.resilience.FailureReport` via ``failures=`` to
+degrade gracefully instead — failed points are dropped from the returned
+lists (each :class:`SweepPoint` carries its ``target_rate``, so gaps are
+attributable) and the report says exactly what was lost and what was
+recovered. ``resume=True`` asserts the sweep cache is enabled, so a
+previously interrupted campaign replays its checkpointed points from disk
+and recomputes only the missing ones.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..config import DVSControlConfig, SimulationConfig
 from ..errors import ExperimentError
 from ..metrics.throughput import saturation_point
 from ..network.simulator import SimulationResult
 from .backends import ExecutionBackend, default_backend
+from .cache import SweepCache, get_cache
+from .resilience import FailureReport
 from .runner import run_simulation
 
 
@@ -52,27 +64,124 @@ class SweepPoint:
         )
 
 
+def require_resumable_cache() -> SweepCache:
+    """The active sweep cache, or a clear error when resume is impossible.
+
+    Resuming replays checkpointed points from the cache journal; with the
+    cache disabled there is nothing to resume from, so failing loudly
+    beats silently recomputing a whole campaign.
+    """
+    cache = get_cache()
+    if cache is None:
+        raise ExperimentError(
+            "resume requires the sweep result cache; remove --no-cache / "
+            "unset REPRO_CACHE=off"
+        )
+    return cache
+
+
+def resume_preview(configs: Iterable[SimulationConfig]) -> tuple[int, int]:
+    """``(already_checkpointed, total)`` for a campaign about to (re)run.
+
+    A cheap existence probe (no integrity verification — a quarantined
+    entry will still be recomputed when actually loaded), meant for
+    upfront "resuming 59/100 points" reporting.
+    """
+    cache = require_resumable_cache()
+    total = 0
+    checkpointed = 0
+    for config in configs:
+        total += 1
+        if cache.contains(config):
+            checkpointed += 1
+    return checkpointed, total
+
+
+def _sweep_results(
+    backend: ExecutionBackend,
+    configs: list[SimulationConfig],
+    failures: FailureReport | None,
+) -> list[SimulationResult | None]:
+    """Strict results when *failures* is None, else partial + report merge."""
+    if failures is None:
+        return list(backend.map_configs(configs))
+    results, report = backend.run(configs)
+    failures.merge(report)
+    return results
+
+
 def rate_sweep(
     base_config: SimulationConfig,
     rates: Sequence[float],
     *,
     backend: ExecutionBackend | None = None,
+    resume: bool = False,
+    failures: FailureReport | None = None,
 ) -> list[SweepPoint]:
     """Run *base_config* at each offered rate in *rates*.
 
     Execution goes through *backend*
     (:func:`~repro.harness.backends.default_backend` when omitted, which
     honors ``REPRO_PROCESSES``); results are identical regardless of the
-    backend chosen.
+    backend chosen. ``resume=True`` requires the sweep cache so an
+    interrupted campaign replays its completed points; passing a
+    :class:`FailureReport` as *failures* degrades failed points to gaps
+    in the returned list instead of raising.
     """
     if backend is None:
         backend = default_backend()
+    if resume:
+        require_resumable_cache()
     rates = list(rates)
-    results = backend.map_configs(base_config.with_rate(rate) for rate in rates)
+    results = _sweep_results(
+        backend, [base_config.with_rate(rate) for rate in rates], failures
+    )
     return [
         SweepPoint.from_result(rate, result)
         for rate, result in zip(rates, results)
+        if result is not None
     ]
+
+
+def named_sweeps(
+    configs: dict[str, SimulationConfig],
+    rates: Sequence[float],
+    *,
+    backend: ExecutionBackend | None = None,
+    resume: bool = False,
+    failures: FailureReport | None = None,
+) -> dict[str, list[SweepPoint]]:
+    """Sweep several named base configs over the same rates as ONE batch.
+
+    The whole campaign — ``len(configs) * len(rates)`` points — is
+    submitted to *backend* at once, so a process pool parallelizes across
+    the named variants and the incremental cache checkpoints cover the
+    campaign as a unit. :func:`compare_policies` and the multi-variant
+    figure experiments are thin wrappers over this.
+    """
+    if not configs:
+        raise ExperimentError("need at least one named config to sweep")
+    if backend is None:
+        backend = default_backend()
+    if resume:
+        require_resumable_cache()
+    rates = list(rates)
+    results = _sweep_results(
+        backend,
+        [config.with_rate(rate) for config in configs.values() for rate in rates],
+        failures,
+    )
+    sweeps: dict[str, list[SweepPoint]] = {}
+    index = 0
+    for name in configs:
+        points: list[SweepPoint] = []
+        for rate in rates:
+            result = results[index]
+            index += 1
+            if result is not None:
+                points.append(SweepPoint.from_result(rate, result))
+        sweeps[name] = points
+    return sweeps
 
 
 def compare_policies(
@@ -81,28 +190,25 @@ def compare_policies(
     policies: dict[str, DVSControlConfig],
     *,
     backend: ExecutionBackend | None = None,
+    resume: bool = False,
+    failures: FailureReport | None = None,
 ) -> dict[str, list[SweepPoint]]:
     """Sweep the same rates (same workload seeds) under several policies.
 
     All policy sweeps are submitted to *backend* as one flat batch, so a
     process pool sees ``len(policies) * len(rates)`` independent work
-    items rather than one batch per policy.
+    items rather than one batch per policy. ``resume``/``failures`` as in
+    :func:`rate_sweep`.
     """
     if not policies:
         raise ExperimentError("need at least one policy to compare")
-    if backend is None:
-        backend = default_backend()
-    rates = list(rates)
-    results = backend.map_configs(
-        base_config.with_dvs(dvs).with_rate(rate)
-        for dvs in policies.values()
-        for rate in rates
+    return named_sweeps(
+        {name: base_config.with_dvs(dvs) for name, dvs in policies.items()},
+        rates,
+        backend=backend,
+        resume=resume,
+        failures=failures,
     )
-    per_policy = iter(results)
-    return {
-        name: [SweepPoint.from_result(rate, next(per_policy)) for rate in rates]
-        for name in policies
-    }
 
 
 def zero_load_latency(base_config: SimulationConfig, rate: float = 0.05) -> float:

@@ -74,6 +74,18 @@ def _sweep_cache_off(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE", "off")
 
 
+@pytest.fixture(autouse=True)
+def _chaos_off(monkeypatch):
+    """No fault injection leaks between tests (or in from the caller's
+    environment) unless a test installs a plan itself."""
+    from repro.harness import chaos
+
+    monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+    chaos.reset_plan()
+    yield
+    chaos.reset_plan()
+
+
 @pytest.fixture
 def mesh3_config():
     return small_config()

@@ -1,0 +1,36 @@
+"""Fixture: R7 (harness interrupt safety).
+
+The path mimics the real harness package so the path-scoped rule fires.
+"""
+
+
+def swallow_everything(run, config):
+    try:
+        return run(config)
+    except Exception:  # one R7 violation: no interrupt guard
+        return None
+
+
+def retry_safely(run, config):
+    try:
+        return run(config)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:  # clean: interrupts provably re-raised above
+        return None
+
+
+def cleanup_then_reraise(run, config, undo):
+    try:
+        return run(config)
+    except BaseException:  # clean: unconditional re-raise
+        undo()
+        raise
+
+
+def documented_escape(run, config):
+    try:
+        return run(config)
+    # Suppressed R7: must NOT be reported.
+    except BaseException:  # repro-lint: ignore[R7]
+        return None

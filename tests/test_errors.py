@@ -14,6 +14,8 @@ ALL_ERRORS = [
     errors.LinkStateError,
     errors.WorkloadError,
     errors.ExperimentError,
+    errors.SweepExecutionError,
+    errors.ChaosError,
 ]
 
 
@@ -24,6 +26,14 @@ def test_derives_from_repro_error(exc):
 
 def test_flow_control_is_simulation_error():
     assert issubclass(errors.FlowControlError, errors.SimulationError)
+
+
+def test_sweep_execution_is_experiment_error_with_failures():
+    assert issubclass(errors.SweepExecutionError, errors.ExperimentError)
+    bare = errors.SweepExecutionError("lost points")
+    assert bare.failures == ()
+    attached = errors.SweepExecutionError("lost points", failures=["record"])
+    assert attached.failures == ("record",)
 
 
 def test_repro_error_is_exception():

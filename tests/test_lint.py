@@ -260,6 +260,107 @@ class TestRuleR6:
         assert _lint_source(source, "src/repro/network/x.py") == []
 
 
+class TestRuleR7:
+    BROAD = """
+        def attempt(run, config):
+            try:
+                return run(config)
+            except Exception:
+                return None
+        """
+
+    def test_broad_handler_flagged_only_in_harness_paths(self):
+        violations = _lint_source(self.BROAD, "src/repro/harness/x.py")
+        assert [v.rule for v in violations] == ["R7"]
+        assert "except Exception" in violations[0].message
+        assert _lint_source(self.BROAD, "src/repro/network/x.py") == []
+
+    def test_interrupt_guard_before_broad_handler_passes(self):
+        source = """
+            def attempt(run, config):
+                try:
+                    return run(config)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    return None
+            """
+        assert _lint_source(source, "src/repro/harness/x.py") == []
+
+    def test_partial_interrupt_guard_still_flagged(self):
+        source = """
+            def attempt(run, config):
+                try:
+                    return run(config)
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    return None
+            """
+        # SystemExit is not provably re-raised, so the guard is incomplete.
+        violations = _lint_source(source, "src/repro/harness/x.py")
+        assert [v.rule for v in violations] == ["R7"]
+
+    def test_cleanup_then_reraise_passes(self):
+        source = """
+            def store(write, undo):
+                try:
+                    write()
+                except BaseException:
+                    undo()
+                    raise
+            """
+        assert _lint_source(source, "src/repro/harness/x.py") == []
+
+    def test_conditional_reraise_does_not_count(self):
+        source = """
+            def attempt(run, config, strict):
+                try:
+                    return run(config)
+                except BaseException:
+                    if strict:
+                        raise
+                    return None
+            """
+        violations = _lint_source(source, "src/repro/harness/x.py")
+        assert [v.rule for v in violations] == ["R7"]
+
+    def test_bare_except_and_tuple_with_exception_flagged(self):
+        source = """
+            def attempt(run, config):
+                try:
+                    return run(config)
+                except (ValueError, Exception):
+                    return None
+
+            def attempt2(run, config):
+                try:
+                    return run(config)
+                except:
+                    return None
+            """
+        violations = _lint_source(source, "src/repro/harness/x.py")
+        assert [v.rule for v in violations] == ["R7", "R7"]
+        assert "bare except:" in violations[1].message
+
+    def test_narrow_handlers_not_in_scope(self):
+        source = """
+            def attempt(run, config):
+                try:
+                    return run(config)
+                except (OSError, ValueError):
+                    return None
+            """
+        assert _lint_source(source, "src/repro/harness/x.py") == []
+
+    def test_real_harness_modules_are_clean(self):
+        violations, errors = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "harness"]
+        )
+        assert errors == []
+        assert [v for v in violations if v.rule == "R7"] == []
+
+
 class TestSuppressions:
     def test_inline_ignore_suppresses_only_that_rule(self):
         source = """

@@ -10,7 +10,11 @@ from repro.errors import ExperimentError
 from repro.harness import cache as cache_mod
 from repro.harness.backends import ProcessPoolBackend, SerialBackend
 from repro.harness.cache import SweepCache
-from repro.harness.sweep import rate_sweep
+from repro.harness.sweep import (
+    rate_sweep,
+    require_resumable_cache,
+    resume_preview,
+)
 from repro.cli import main
 
 from .conftest import small_config
@@ -150,6 +154,136 @@ class TestEntryIntegrity:
         config = small_config(rate=0.2, warmup=200, measure=600)
         with pytest.raises(ExperimentError):
             cache.map_cached([config], lambda missing: [])
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_renamed_and_counted(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        cache.store(config, "fine")
+        path = cache.entry_path(config)
+        path.write_bytes(b"not a pickle")
+        assert cache.load(config) is None
+        assert cache.corrupted == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # The quarantined entry is out of the way: recompute-and-store
+        # repairs the slot and the next load hits.
+        cache.store(config, "repaired")
+        assert cache.load(config) == "repaired"
+        assert cache.corrupted == 1
+
+    def test_missing_entry_is_a_plain_miss_not_corruption(self, cache_dir):
+        cache = cache_mod.get_cache()
+        assert cache.load(small_config(rate=0.2)) is None
+        assert cache.corrupted == 0
+
+    def test_describe_reports_quarantined_entries(self, cache_dir):
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        cache = cache_mod.get_cache()
+        assert "quarantined" not in cache.describe()
+        cache.store(config, "fine")
+        cache.entry_path(config).write_bytes(b"junk")
+        cache.load(config)
+        assert "1 corrupted entries quarantined" in cache.describe()
+
+
+class TestStreamingCheckpoints:
+    def test_results_stored_as_produced_not_at_batch_end(self, cache_dir):
+        """Satellite acceptance: an interrupt at point N keeps points
+        1..N-1 on disk (the old all-or-nothing batch store lost them)."""
+        cache = cache_mod.get_cache()
+        configs = [
+            small_config(rate=rate, warmup=200, measure=600)
+            for rate in (0.1, 0.2, 0.3)
+        ]
+
+        def interrupted(missing):
+            yield "first"
+            yield "second"
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            cache.map_cached(configs, interrupted)
+        assert cache.load(configs[0]) == "first"
+        assert cache.load(configs[1]) == "second"
+        assert cache.load(configs[2]) is None
+
+    def test_none_results_pass_through_unstored(self, cache_dir):
+        cache = cache_mod.get_cache()
+        configs = [
+            small_config(rate=rate, warmup=200, measure=600)
+            for rate in (0.1, 0.2)
+        ]
+        results = cache.map_cached(configs, lambda missing: ["ok", None])
+        assert results == ["ok", None]
+        assert cache.load(configs[1]) is None
+
+    def test_overlong_batch_from_backend_raises(self, cache_dir):
+        cache = cache_mod.get_cache()
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        with pytest.raises(ExperimentError, match="more than"):
+            cache.map_cached([config], lambda missing: ["a", "b"])
+
+    def test_partition_splits_hits_from_misses(self, cache_dir):
+        cache = cache_mod.get_cache()
+        configs = [
+            small_config(rate=rate, warmup=200, measure=600)
+            for rate in (0.1, 0.2, 0.3)
+        ]
+        cache.store(configs[1], "cached")
+        results, miss_indices, miss_configs = cache.partition(configs)
+        assert results == [None, "cached", None]
+        assert miss_indices == [0, 2]
+        assert miss_configs == [configs[0], configs[2]]
+        assert (cache.hits, cache.misses) == (1, 2)
+
+
+class TestResume:
+    def test_resume_requires_the_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        with pytest.raises(ExperimentError, match="resume requires"):
+            require_resumable_cache()
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        with pytest.raises(ExperimentError, match="resume requires"):
+            rate_sweep(config, (0.2,), resume=True)
+
+    def test_resume_recomputes_only_missing_points(self, cache_dir, monkeypatch):
+        """ISSUE acceptance: an interrupted sweep resumed later replays
+        checkpointed points and recomputes only the missing ones —
+        verified via the cache hit/miss counters."""
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        rates = (0.2, 0.3, 0.4, 0.5)
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        expected = rate_sweep(config, rates)
+        monkeypatch.setenv("REPRO_CACHE", str(cache_dir))
+
+        # "Interrupted" campaign: only the first two points completed.
+        rate_sweep(config, rates[:2])
+        checkpointed, total = resume_preview(
+            config.with_rate(rate) for rate in rates
+        )
+        assert (checkpointed, total) == (2, 4)
+
+        cache = cache_mod.get_cache()
+        hits, misses = cache.hits, cache.misses
+        resumed = rate_sweep(config, rates, resume=True)
+        assert resumed == expected  # bit-identical to an uninterrupted run
+        assert cache.hits - hits == 2  # replayed from checkpoints
+        assert cache.misses - misses == 2  # recomputed
+
+    def test_resume_preview_requires_the_cache_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        with pytest.raises(ExperimentError):
+            resume_preview([small_config(rate=0.2)])
+
+    def test_contains_is_a_cheap_probe(self, cache_dir):
+        cache = cache_mod.get_cache()
+        config = small_config(rate=0.2, warmup=200, measure=600)
+        assert not cache.contains(config)
+        cache.store(config, "there")
+        assert cache.contains(config)
+        assert (cache.hits, cache.misses) == (0, 0)  # no counter bumps
 
 
 class TestErrorPaths:
