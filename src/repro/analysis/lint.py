@@ -3,7 +3,7 @@
 The cycle kernel's performance work (active-router dirty set, event-horizon
 fast-forward, content-addressed sweep cache, allocation-free stepping) made
 correctness and performance depend on contracts that ordinary linters cannot
-see. This pass encodes them as seven rules over the stdlib :mod:`ast` (no
+see. This pass encodes them as eight rules over the stdlib :mod:`ast` (no
 third-party dependencies):
 
 ``R1`` unseeded-randomness-or-wall-clock
@@ -50,6 +50,17 @@ third-party dependencies):
     parallel assignments like ``a, b = x, y`` (CPython compiles small
     unpackings to stack rotations, no tuple is materialized). The marker
     is opt-in, so the rule applies in every linted file.
+
+``R8`` policy-purity
+    ``decide()`` on a :class:`~repro.core.policy.DVSPolicy` subclass must
+    be a pure function of its inputs and ``self``: no unseeded
+    randomness (module-level :mod:`random` / global numpy generators —
+    a policy's own seeded ``random.Random`` held on ``self`` is fine),
+    no wall-clock reads, no ``global``/``nonlocal`` statements, and no
+    stores to or mutation of module-level state. Policies run once per
+    window per channel; hidden global state would break Serial vs
+    ProcessPool bit-identity and the sweep cache's claim that a config
+    fingerprint determines the result.
 
 ``R7`` harness-interrupt-safety
     Harness code (``repro/harness/`` — the retry/checkpoint/resume layer)
@@ -100,6 +111,7 @@ RULES = {
     "R5": "config-not-json-serializable",
     "R6": "hot-path-allocation",
     "R7": "harness-interrupt-safety",
+    "R8": "policy-purity",
 }
 
 #: Path fragments selecting the files R1 applies to.
@@ -152,6 +164,12 @@ _HOT_RE = re.compile(r"#\s*repro-hot\b")
 _R6_CONSTRUCTORS = frozenset(
     {"list", "dict", "set", "frozenset", "tuple", "bytearray", "deque",
      "defaultdict", "Counter", "OrderedDict"}
+)
+#: Method names R8 treats as in-place mutation of the receiver.
+_R8_MUTATORS = frozenset(
+    {"append", "add", "update", "pop", "extend", "remove", "clear",
+     "setdefault", "popitem", "insert", "discard", "appendleft",
+     "extendleft", "sort", "reverse"}
 )
 #: Exception names R7 treats as dangerously broad when caught.
 _R7_BROAD = frozenset({"Exception", "BaseException"})
@@ -417,6 +435,7 @@ class Linter:
         yield from self._rule_r4(context)
         yield from self._rule_r5(context)
         yield from self._rule_r6(context)
+        yield from self._rule_r8(context)
 
     # -- R1: unseeded randomness / wall clock ----------------------------
 
@@ -752,6 +771,133 @@ class Linter:
             if name is not None and name.split(".")[-1] in _R6_CONSTRUCTORS:
                 return f"{name}() constructor call"
         return None
+
+    # -- R8: DVS policy purity -------------------------------------------
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> frozenset[str]:
+        """Names bound by module top-level assignments."""
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    names.add(stmt.target.id)
+        return frozenset(names)
+
+    def _rule_r8(self, context: _FileContext) -> Iterator[Violation]:
+        module_names = self._module_level_names(context.tree)
+        for info in context.classes.values():
+            if info.name == "DVSPolicy":
+                continue
+            if not context.inherits_from(info, "DVSPolicy"):
+                continue
+            for item in info.node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "decide"
+                ):
+                    yield from self._r8_scan(context, info.name, item, module_names)
+
+    def _r8_scan(
+        self,
+        context: _FileContext,
+        class_name: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        module_names: frozenset[str],
+    ) -> Iterator[Violation]:
+        where = f"{class_name}.decide()"
+        suffix = (
+            "; decide() must be a pure function of its inputs and self "
+            "(Serial vs ProcessPool bit-identity, sweep-cache soundness)"
+        )
+        # Plain-name stores inside decide() create locals, never globals
+        # (R8 flags the `global` statement that would change that), so a
+        # local shadowing a module name is not a purity breach.
+        local = {
+            arg.arg
+            for arg in (
+                *func.args.posonlyargs,
+                *func.args.args,
+                *func.args.kwonlyargs,
+            )
+        }
+        for vararg in (func.args.vararg, func.args.kwarg):
+            if vararg is not None:
+                local.add(vararg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local.add(node.id)
+
+        def global_root(expr: ast.expr) -> str | None:
+            while isinstance(expr, (ast.Attribute, ast.Subscript)):
+                expr = expr.value
+            if (
+                isinstance(expr, ast.Name)
+                and expr.id in module_names
+                and expr.id not in local
+            ):
+                return expr.id
+            return None
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                keyword = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield Violation(
+                    context.display_path, node.lineno, node.col_offset, "R8",
+                    f"{keyword} statement in {where}{suffix}",
+                )
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                root = global_root(node)
+                if root is not None:
+                    yield Violation(
+                        context.display_path, node.lineno, node.col_offset, "R8",
+                        f"store to module-level state {root!r} in {where}{suffix}",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name is None:
+                    continue
+                if (
+                    name.startswith("random.")
+                    and name.split(".", 1)[1] not in _RANDOM_OK
+                ):
+                    yield Violation(
+                        context.display_path, node.lineno, node.col_offset, "R8",
+                        f"unseeded randomness ({name}) in {where}; draw from a "
+                        f"seeded random.Random held on self{suffix}",
+                    )
+                elif name in _WALL_CLOCK:
+                    yield Violation(
+                        context.display_path, node.lineno, node.col_offset, "R8",
+                        f"wall-clock read ({name}) in {where}{suffix}",
+                    )
+                elif any(
+                    name.startswith(prefix)
+                    for prefix in ("numpy.random.", "np.random.")
+                ):
+                    yield Violation(
+                        context.display_path, node.lineno, node.col_offset, "R8",
+                        f"global numpy generator ({name}) in {where}{suffix}",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _R8_MUTATORS
+                ):
+                    root = global_root(node.func.value)
+                    if root is not None:
+                        yield Violation(
+                            context.display_path, node.lineno,
+                            node.col_offset, "R8",
+                            f"mutation of module-level state {root!r} "
+                            f"(.{node.func.attr}()) in {where}{suffix}",
+                        )
 
     def _annotation_serializable(self, annotation: ast.expr) -> bool:
         if isinstance(annotation, ast.Constant):

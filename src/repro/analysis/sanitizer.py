@@ -61,6 +61,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..instrument.bus import TransitionEvent
     from ..network.engine import SimulationEngine
 
+#: Phases during which the link is dead and ``locked`` must mirror True.
+_LOCKED_PHASES = frozenset(
+    {ChannelPhase.FREQUENCY_LOCK, ChannelPhase.SLEEP, ChannelPhase.WAKE}
+)
+#: Shutdown-side phases, legal only at the bottom of the V/F table.
+_SHUTDOWN_PHASES = frozenset({ChannelPhase.SLEEP, ChannelPhase.WAKE})
+
 
 class SanitizerViolation(SimulationError):
     """A conservation invariant failed, with full kernel context.
@@ -560,19 +567,36 @@ class DVSTransitionSanitizer(SanitizerObserver):
             dvs.locked,
             dvs._phase,
             dvs.flits_sent,
+            dvs.sleeping,
         )
         previous = self._previous[index]
         if snapshot == previous:
             self._seen_at[index] = now
             if index in self._watched and not snapshot[2] and (
-                snapshot[3] is not ChannelPhase.FREQUENCY_LOCK
+                snapshot[3] not in _LOCKED_PHASES
             ):
                 self._watched.discard(index)
             return
-        level, voltage, locked, phase, sent = snapshot
+        level, voltage, locked, phase, sent, sleeping = snapshot
         target = dvs.target_level
-        in_lock = phase is ChannelPhase.FREQUENCY_LOCK
+        in_lock = phase in _LOCKED_PHASES
         channel_id = self.engine.channels[index].spec.channel_id
+        if sleeping != (phase is ChannelPhase.SLEEP):
+            self._violation(
+                f"sleeping mirror ({sleeping}) disagrees with phase "
+                f"({phase.value}); wake demand would be "
+                f"{'recorded for a live link' if sleeping else 'lost'}",
+                cycle=now,
+                channel=channel_id,
+            )
+        if phase in _SHUTDOWN_PHASES and (level != 0 or voltage != 0 or target != 0):
+            self._violation(
+                f"shutdown state entered away from level 0 (level={level}, "
+                f"voltage={voltage}, target={target}); the sleep state sits "
+                "below the bottom of the V/F table only",
+                cycle=now,
+                channel=channel_id,
+            )
         max_level = self._max_level
         for label, value in (
             ("frequency", level),
@@ -603,9 +627,7 @@ class DVSTransitionSanitizer(SanitizerObserver):
             )
         if previous is not None:
             prev_level, prev_voltage = previous[0], previous[1]
-            prev_locked = (
-                previous[2] or previous[3] is ChannelPhase.FREQUENCY_LOCK
-            )
+            prev_locked = previous[2] or previous[3] in _LOCKED_PHASES
             prev_sent = previous[4]
             if abs(level - prev_level) > 1 or abs(voltage - prev_voltage) > 1:
                 self._violation(
@@ -624,8 +646,8 @@ class DVSTransitionSanitizer(SanitizerObserver):
                 # (no unlock the sends could legally have followed).
                 self._violation(
                     f"{sent - prev_sent} flit(s) transmitted "
-                    "while the link was in frequency transition "
-                    "(receiver cannot lock; data would be lost)",
+                    "while the link was dead (frequency transition or "
+                    "shutdown; data would be lost)",
                     rule="link-lockout",
                     cycle=now,
                     channel=channel_id,

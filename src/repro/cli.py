@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
     python -m repro describe                    # static tables and models
+    python -m repro policies                    # registered DVS policies
     python -m repro run --rate 1.0 --policy history
     python -m repro sweep --rates 0.3,0.9,1.5   # DVS vs non-DVS comparison
+    python -m repro pareto --rates 0.9          # cross-policy frontier
     python -m repro figure fig10 --scale smoke  # regenerate a paper figure
 
 All heavy lifting lives in the library; the CLI only parses arguments,
 calls the same functions the benchmarks use, and prints the rendered
 tables, so everything reachable from the shell is equally reachable (and
-tested) from Python.
+tested) from Python. Policy choices and display labels come from the
+policy registry (:mod:`repro.core.registry`), so plugins registered
+before the parser is built show up everywhere automatically.
 """
 
 from __future__ import annotations
@@ -19,15 +23,23 @@ import argparse
 import sys
 from typing import Callable
 
-from .config import DVSControlConfig, POLICY_NAMES
+from .config import DVSControlConfig
 from .core.hardware import ControllerHardwareModel
 from .core.levels import PAPER_TABLE
 from .core.power_model import PAPER_LINK_POWER
+from .core.registry import describe_registry, policy_label, registered_policies
 from .core.thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .harness import cache as sweep_cache
 from .harness import experiments
 from .harness.backends import make_backend
+from .harness.pareto import (
+    frontier,
+    pareto_configs,
+    run_pareto,
+    write_pareto_csv,
+    write_pareto_json,
+)
 from .harness.resilience import FailureReport, RetryPolicy
 from .harness.runner import build_simulator
 from .harness.scales import get_scale
@@ -86,9 +98,24 @@ def build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser("describe", help="print static tables and models")
     describe.set_defaults(func=cmd_describe)
 
+    policies = sub.add_parser(
+        "policies", help="list registered DVS policies and their knobs"
+    )
+    policies.add_argument("--smoke", action="store_true",
+                          help="also run every registered policy for one short "
+                          "point and report the results")
+    policies.add_argument("--sanitize", action="store_true",
+                          help="attach the network sanitizer to each smoke run "
+                          "(violations fail the command)")
+    policies.add_argument("--rate", type=float, default=0.5,
+                          help="offered rate for the smoke runs")
+    policies.add_argument("--scale", default=None, help="smoke | default | paper")
+    policies.add_argument("--seed", type=int, default=1)
+    policies.set_defaults(func=cmd_policies)
+
     run = sub.add_parser("run", help="run one simulation and report")
     run.add_argument("--rate", type=float, default=1.0, help="packets/cycle, network-wide")
-    run.add_argument("--policy", choices=POLICY_NAMES, default="history")
+    run.add_argument("--policy", choices=registered_policies(), default="history")
     run.add_argument("--tasks", type=int, default=100, help="average concurrent task sessions")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--scale", default=None, help="smoke | default | paper")
@@ -123,6 +150,37 @@ def build_parser() -> argparse.ArgumentParser:
                        "instead of aborting when points fail")
     sweep.set_defaults(func=cmd_sweep)
 
+    pareto = sub.add_parser(
+        "pareto", help="cross-policy power-vs-latency Pareto frontier"
+    )
+    pareto.add_argument("--rates", default="0.9",
+                        help="comma-separated offered rates (frontier is "
+                        "computed within each rate)")
+    pareto.add_argument("--policies", default=None,
+                        help="comma-separated registered policy names "
+                        "(default: every registered policy)")
+    pareto.add_argument("--scale", default=None)
+    pareto.add_argument("--seed", type=int, default=1)
+    pareto.add_argument("--processes", type=int, default=1,
+                        help="worker processes for the campaign (1 = serial)")
+    pareto.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk sweep result cache")
+    pareto.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from the sweep "
+                        "cache, recomputing only the missing points")
+    pareto.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per point before it counts as failed")
+    pareto.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-point wall-clock budget")
+    pareto.add_argument("--keep-going", action="store_true",
+                        help="degrade to partial results plus a failure "
+                        "summary instead of aborting when points fail")
+    pareto.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full campaign (points + frontier) to PATH")
+    pareto.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the campaign as flat CSV to PATH")
+    pareto.set_defaults(func=cmd_pareto)
+
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", default=None)
@@ -150,6 +208,45 @@ def cmd_describe(args: argparse.Namespace) -> int:
     print("Table 2 settings:")
     for name, setting in TABLE2_SETTINGS.items():
         print(f"  {name}: TL=({setting.low_uncongested}, {setting.high_uncongested})")
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    print(describe_registry())
+    if not args.smoke:
+        return 0
+    # Registry-completeness smoke: every registered policy (including
+    # factory-less "none") must survive one short point, optionally under
+    # the sanitizer. A 10x-shrunk scale keeps this CI-cheap while still
+    # crossing enough windows to exercise transitions and sleep/wake.
+    scale = get_scale(args.scale).shrink(0.1)
+    rows = []
+    for name in registered_policies():
+        config = scale.simulation(
+            args.rate, policy=name, workload_overrides={"seed": args.seed}
+        )
+        simulator = build_simulator(
+            config, sanitize=True if args.sanitize else None
+        )
+        result = simulator.run()
+        rows.append(
+            (
+                policy_label(config.dvs),
+                round(result.accepted_rate, 3),
+                round(result.latency.mean, 1),
+                round(result.power.normalized, 3),
+                result.power.transition_count,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["policy", "accepted", "mean_lat", "norm_power", "transitions"],
+            rows,
+            title=f"registry smoke @ {args.rate} pkt/cycle (scale={scale.name}, "
+            f"sanitize={'on' if args.sanitize else 'off'})",
+        )
+    )
     return 0
 
 
@@ -211,6 +308,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return _cmd_sweep(args)
 
 
+def _parse_rates(raw: str) -> tuple[float, ...]:
+    """One comma-separated --rates argument as floats, or a clean error."""
+    try:
+        rates = tuple(float(r) for r in raw.split(",") if r.strip())
+    except ValueError as exc:
+        raise ConfigError(f"bad --rates value {raw!r}: {exc}") from None
+    if not rates:
+        raise ConfigError(f"--rates needs at least one rate, got {raw!r}")
+    return rates
+
+
 def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
     """A RetryPolicy from --retries/--timeout, or None for the default."""
     if args.retries is None and args.timeout is None:
@@ -225,11 +333,17 @@ def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
-    rates = tuple(float(r) for r in args.rates.split(","))
+    rates = _parse_rates(args.rates)
     base = scale.simulation(rates[0], workload_overrides={"seed": args.seed})
+    # Display names come from the registry so custom knob values (or
+    # plugin policies swapped in here) label themselves.
+    baseline_dvs = DVSControlConfig(policy="none")
+    dvs_dvs = DVSControlConfig(policy="history")
+    baseline_name = policy_label(baseline_dvs)
+    dvs_name = policy_label(dvs_dvs)
     named = {
-        "none": base.with_dvs(DVSControlConfig(policy="none")),
-        "history": base.with_dvs(DVSControlConfig(policy="history")),
+        baseline_name: base.with_dvs(baseline_dvs),
+        dvs_name: base.with_dvs(dvs_dvs),
     }
     if args.resume:
         checkpointed, total = resume_preview(
@@ -244,10 +358,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweeps = compare_policies(
         base,
         rates,
-        {
-            "none": DVSControlConfig(policy="none"),
-            "history": DVSControlConfig(policy="history"),
-        },
+        {baseline_name: baseline_dvs, dvs_name: dvs_dvs},
         backend=make_backend(args.processes, retry=_retry_policy(args)),
         resume=args.resume,
         failures=report,
@@ -258,7 +369,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         name: {point.target_rate: point for point in points}
         for name, points in sweeps.items()
     }
-    common = [r for r in rates if r in by_rate["none"] and r in by_rate["history"]]
+    common = [
+        r for r in rates if r in by_rate[baseline_name] and r in by_rate[dvs_name]
+    ]
     rows = [
         (
             b.target_rate,
@@ -268,22 +381,105 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             round(d.normalized_power, 3),
             round(d.savings_factor, 2),
         )
-        for b, d in ((by_rate["none"][r], by_rate["history"][r]) for r in common)
+        for b, d in (
+            (by_rate[baseline_name][r], by_rate[dvs_name][r]) for r in common
+        )
     ]
     print(
         render_table(
-            ["rate", "offered", "lat_nodvs", "lat_dvs", "norm_power", "savings"],
+            ["rate", "offered", f"lat_{baseline_name}", f"lat_{dvs_name}",
+             "norm_power", "savings"],
             rows,
-            title=f"DVS vs non-DVS sweep (scale={scale.name})",
+            title=f"DVS ({dvs_name}) vs non-DVS sweep (scale={scale.name})",
         )
     )
     if common:
         summary = summarize_comparison(
-            [by_rate["none"][r] for r in common],
-            [by_rate["history"][r] for r in common],
+            [by_rate[baseline_name][r] for r in common],
+            [by_rate[dvs_name][r] for r in common],
         )
         print()
         print(summary.describe())
+    stats = _cache_stats_line()
+    if stats:
+        print(stats)
+    if report is not None and not report.ok:
+        print()
+        print(report.describe())
+        return 1 if report.failures else 0
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        sweep_cache.set_cache(None)
+        try:
+            return _cmd_pareto(args)
+        finally:
+            sweep_cache.reset_cache()
+    return _cmd_pareto(args)
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    rates = _parse_rates(args.rates)
+    policies = None
+    if args.policies:
+        policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    base = scale.simulation(rates[0], workload_overrides={"seed": args.seed})
+    if args.resume:
+        _, preview = pareto_configs(base, rates, policies)
+        checkpointed, total = resume_preview(preview)
+        print(
+            f"resume: {checkpointed}/{total} points already checkpointed, "
+            f"recomputing {total - checkpointed}",
+            file=sys.stderr,
+        )
+    report = FailureReport() if args.keep_going else None
+    points = run_pareto(
+        base,
+        rates,
+        policies,
+        backend=make_backend(args.processes, retry=_retry_policy(args)),
+        resume=args.resume,
+        failures=report,
+    )
+    rows = [
+        (
+            point.label,
+            point.target_rate,
+            round(point.offered_rate, 3),
+            round(point.mean_latency, 1),
+            round(point.normalized_power, 3),
+            round(point.savings_factor, 2),
+            point.transition_count,
+            "*" if point.on_frontier else "",
+        )
+        for point in points
+    ]
+    print(
+        render_table(
+            ["policy", "rate", "offered", "mean_lat", "norm_power", "savings",
+             "transitions", "frontier"],
+            rows,
+            title=f"cross-policy Pareto campaign (scale={scale.name})",
+        )
+    )
+    front = frontier(points)
+    print()
+    print(f"frontier: {len(front)}/{len(points)} points non-dominated")
+    for point in front:
+        print(
+            f"  {point.label} @ {point.target_rate:g}: "
+            f"power={point.normalized_power:.3f} "
+            f"latency={point.mean_latency:.1f}"
+        )
+    if args.json:
+        write_pareto_json(points, args.json)
+        print(f"\ncampaign written to {args.json}")
+    if args.csv:
+        write_pareto_csv(points, args.csv)
+        print(f"csv written to {args.csv}")
     stats = _cache_stats_line()
     if stats:
         print(stats)

@@ -21,11 +21,12 @@ from dataclasses import dataclass, field, replace
 from .core.levels import VFTable
 from .core.power_model import LinkPowerModel, RegulatorModel
 from .core.dvs_link import TransitionTiming
+from .core.registry import validate_dvs_config
 from .core.thresholds import TABLE1_DEFAULT, ThresholdSet
 from .errors import ConfigError
 
-#: Policy names accepted by :class:`DVSControlConfig`.
-POLICY_NAMES = ("history", "none", "static", "lu_only", "adaptive_threshold")
+# Policy names live in the policy registry (:mod:`repro.core.registry`);
+# use ``registered_policies()`` instead of the removed POLICY_NAMES tuple.
 #: Workload names accepted by :class:`WorkloadConfig`.
 WORKLOAD_NAMES = ("two_level", "uniform", "permutation")
 #: Routing names accepted by :class:`NetworkConfig`.
@@ -104,6 +105,12 @@ class LinkConfig:
     regulator_efficiency: float = 0.9
     voltage_transition_s: float = 10.0e-6
     frequency_transition_link_cycles: int = 100
+    #: Retention rail applied when a shutdown-capable policy sleeps the
+    #: channel below level 0; only the bias (leakage) term draws power.
+    sleep_retention_voltage_v: float = 0.3
+    #: Cycles after a wake completes during which re-sleep is refused,
+    #: bounding worst-case sleep/wake thrash (2 default history windows).
+    sleep_wake_lockout_cycles: int = 400
 
     def __post_init__(self) -> None:
         if self.levels < 2:
@@ -112,6 +119,12 @@ class LinkConfig:
             raise ConfigError("min link frequency must be below max")
         if self.lanes < 1 or self.mux_ratio < 1:
             raise ConfigError("lanes and mux ratio must be positive")
+        if not 0.0 < self.sleep_retention_voltage_v < self.min_voltage_v:
+            raise ConfigError(
+                "sleep retention voltage must lie in (0, min_voltage_v)"
+            )
+        if self.sleep_wake_lockout_cycles < 0:
+            raise ConfigError("sleep wake lockout must be non-negative")
         # Remaining electrical parameters are validated by the model
         # builders below; build them once here to fail fast.
         self.build_table()
@@ -155,7 +168,17 @@ class LinkConfig:
 
 @dataclass(frozen=True, slots=True)
 class DVSControlConfig:
-    """Which DVS policy runs at each output port, and its parameters."""
+    """Which DVS policy runs at each output port, and its parameters.
+
+    ``policy`` names an entry of the policy registry
+    (:mod:`repro.core.registry`); ``params`` carries that policy's knob
+    values as a JSON-serializable mapping, validated against the
+    registered schema here (bounds, integrality, unknown keys) and again
+    by :class:`SimulationConfig` against the actual V/F table size for
+    level-indexed knobs. The legacy attributes ``ewma_weight`` and
+    ``static_level`` remain as aliases for the knobs of the same name;
+    an explicit ``params`` entry takes precedence.
+    """
 
     policy: str = "history"
     thresholds: ThresholdSet = TABLE1_DEFAULT
@@ -163,18 +186,19 @@ class DVSControlConfig:
     history_window: int = 200
     static_level: int = 0
     initial_level: int | None = None
+    params: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.policy not in POLICY_NAMES:
-            raise ConfigError(
-                f"unknown policy {self.policy!r}; choose from {POLICY_NAMES}"
-            )
         if self.ewma_weight <= 0.0:
             raise ConfigError("EWMA weight must be positive")
         if self.history_window <= 0:
             raise ConfigError("history window must be positive")
         if self.static_level < 0:
             raise ConfigError("static level must be non-negative")
+        # Registry schema validation: unknown policy names (the error
+        # lists every registered policy and its knobs), unknown param
+        # keys, out-of-range and non-integral knob values.
+        validate_dvs_config(self)
 
     @property
     def enabled(self) -> bool:
@@ -263,6 +287,10 @@ class SimulationConfig:
             raise ConfigError("warmup cycles cannot be negative")
         if self.measure_cycles <= 0:
             raise ConfigError("measurement phase must be positive")
+        # Re-validate the policy knobs against the actual table size so a
+        # level-indexed knob (e.g. ``static_level``) outside this link's
+        # V/F table fails at construction rather than mid-run.
+        validate_dvs_config(self.dvs, levels=self.link.levels)
 
     @property
     def total_cycles(self) -> int:

@@ -105,21 +105,39 @@ class PortDVSController:
         self.last_link_utilization = link_utilization
         self.last_buffer_utilization = buffer_utilization
 
+        channel = self.channel
+        asleep = channel.sleeping
         action = self.policy.decide(
             PolicyInputs(
                 link_utilization=link_utilization,
                 buffer_utilization=buffer_utilization,
-                level=self.channel.level,
-                max_level=self.channel.table.max_level,
+                level=channel.level,
+                max_level=channel.table.max_level,
                 cycle=now,
+                asleep=asleep,
+                sleep_demand=channel.sleep_demand,
             )
         )
+        if asleep:
+            # The policy has seen this window's wake demand; re-arm it.
+            channel.sleep_demand = False
         self.windows_evaluated += 1
         self.actions_taken[action] += 1
 
-        if action is not DVSAction.HOLD:
-            target = self.channel.level + action.value
-            accepted = self.channel.request_level(target, now)
+        if self.policy.has_replay:
+            replay_flits = self.policy.consume_replay_flits()
+            if replay_flits:
+                channel.charge_replay(replay_flits, now)
+
+        if action is DVSAction.SLEEP:
+            if not channel.request_sleep(now):
+                self.requests_dropped += 1
+        elif action is DVSAction.WAKE:
+            if not channel.request_wake(now):
+                self.requests_dropped += 1
+        elif action is not DVSAction.HOLD:
+            target = channel.level + action.value
+            accepted = channel.request_level(target, now)
             if not accepted:
                 self.requests_dropped += 1
         return action

@@ -45,6 +45,12 @@ class ChannelPhase(enum.Enum):
     VOLTAGE_RAMP = "voltage_ramp"
     #: Frequency synthesizer retuning / receiver re-locking; link dead.
     FREQUENCY_LOCK = "frequency_lock"
+    #: Shutdown state below level 0: clocks gated, rail at the retention
+    #: voltage, only leakage drawn; link dead until woken.
+    SLEEP = "sleep"
+    #: Waking from SLEEP: rail recharging to level 0 then receiver
+    #: re-locking; link dead for the combined duration.
+    WAKE = "wake"
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +129,17 @@ class DVSChannel:
         "_last_energy_cycle",
         "_serialization_cycles",
         "level_step_counts",
+        "retention_voltage_v",
+        "wake_lockout_cycles",
+        "sleeping",
+        "sleep_demand",
+        "sleep_count",
+        "sleep_cycles",
+        "replay_count",
+        "replay_energy_j",
+        "_sleep_lockout_until",
+        "_sleep_started_cycle",
+        "_wake_duration",
     )
 
     def __init__(
@@ -135,11 +152,20 @@ class DVSChannel:
         router_clock_hz: float = 1.0e9,
         timing: TransitionTiming | None = None,
         initial_level: int | None = None,
+        retention_voltage_v: float = 0.3,
+        wake_lockout_cycles: int = 0,
     ):
         if lanes <= 0:
             raise ConfigError("a channel needs at least one lane")
         if router_clock_hz <= 0.0:
             raise ConfigError("router clock must be positive")
+        if not 0.0 < retention_voltage_v < table.voltage(0):
+            raise ConfigError(
+                f"retention voltage {retention_voltage_v!r} must lie in "
+                f"(0, {table.voltage(0)!r}) below the level-0 rail"
+            )
+        if wake_lockout_cycles < 0:
+            raise ConfigError("wake lockout must be non-negative")
         self.table = table
         self.power_model = power_model
         self.regulator = regulator if regulator is not None else RegulatorModel()
@@ -171,6 +197,25 @@ class DVSChannel:
         self._serialization_cycles = table.serialization_ratio(level, router_clock_hz)
         #: Count of completed adjacent steps up/down, for diagnostics.
         self.level_step_counts = {"up": 0, "down": 0}
+
+        #: Retention rail applied while asleep (leakage-only state).
+        self.retention_voltage_v = retention_voltage_v
+        #: Cycles after a wake completes during which re-sleep is refused.
+        self.wake_lockout_cycles = wake_lockout_cycles
+        #: Fast-path mirror of ``phase is SLEEP`` (router blocked paths
+        #: read this plain attribute to record wake demand).
+        self.sleeping = False
+        #: Set by the routers when traffic wanted this channel while it
+        #: slept; read and cleared by the port controller each window.
+        self.sleep_demand = False
+        self.sleep_count = 0
+        self.sleep_cycles = 0
+        #: Razor-style replay bookkeeping (see :meth:`charge_replay`).
+        self.replay_count = 0
+        self.replay_energy_j = 0.0
+        self._sleep_lockout_until = 0
+        self._sleep_started_cycle = 0
+        self._wake_duration = 0
 
     # ------------------------------------------------------------------
     # State inspection
@@ -245,6 +290,65 @@ class DVSChannel:
         self._begin_step(now)
         return True
 
+    def request_sleep(self, now: int) -> bool:
+        """Enter the shutdown state below level 0 (Tsai-style link sleep).
+
+        Legal only when the channel sits steady at level 0 and the
+        post-wake lockout has expired; returns ``False`` (request dropped)
+        otherwise. Entry is immediate — the link goes dead right away and
+        the rail decay to the retention voltage is charged as one Eq. (1)
+        transition — while the full latency cost is paid on the wake path.
+        """
+        if not (
+            self._phase is ChannelPhase.STEADY
+            and self._level == self._target_level == 0
+            and now >= self._sleep_lockout_until
+        ):
+            return False
+        self._accrue_energy(now)
+        self.transition_energy_j += self.regulator.transition_energy_j(
+            self.table.voltage(0), self.retention_voltage_v
+        )
+        self.transition_count += 1
+        self.sleep_count += 1
+        self._phase = ChannelPhase.SLEEP
+        self.locked = True
+        self.sleeping = True
+        self.sleep_demand = False
+        self._power_w = self.power_model.sleep_power_w(
+            self.retention_voltage_v, self.lanes
+        )
+        self._phase_end_cycle = None
+        self._sleep_started_cycle = now
+        return True
+
+    def request_wake(self, now: int) -> bool:
+        """Start waking a slept channel back to level 0.
+
+        The rail recharges (one voltage-ramp time) and the receiver then
+        re-locks; the link stays dead for the combined duration and the
+        recharge is billed as one Eq. (1) transition plus level-0 power
+        for the wake window.
+        """
+        if self._phase is not ChannelPhase.SLEEP:
+            return False
+        self._accrue_energy(now)
+        self.sleep_cycles += now - self._sleep_started_cycle
+        self.transition_energy_j += self.regulator.transition_energy_j(
+            self.retention_voltage_v, self.table.voltage(0)
+        )
+        self.transition_count += 1
+        self._phase = ChannelPhase.WAKE
+        self.locked = True
+        self.sleeping = False
+        self._power_w = self._steady_power_w(0)
+        self._wake_duration = (
+            max(1, self.timing.voltage_cycles(self.router_clock_hz))
+            + self._frequency_lock_duration()
+        )
+        self._phase_end_cycle = now + self._wake_duration
+        return True
+
     def force_level(self, level: int, now: int = 0) -> None:
         """Jump instantaneously to *level* (initialization / tests only)."""
         if not self.is_steady:
@@ -297,6 +401,14 @@ class DVSChannel:
                     self._level, self.router_clock_hz
                 )
                 self._start_voltage_ramp(now)
+        elif self._phase is ChannelPhase.WAKE:
+            # Rail recharged and receiver re-locked: back to steady level 0.
+            self.dead_cycles += self._wake_duration
+            self._sleep_lockout_until = now + self.wake_lockout_cycles
+            self._power_w = self._steady_power_w(self._level)
+            self._phase = ChannelPhase.STEADY
+            self.locked = False
+            self._phase_end_cycle = None
         else:
             raise LinkStateError("phase end fired while channel was steady")
         return self._phase_end_cycle
@@ -331,6 +443,26 @@ class DVSChannel:
         self.flits_sent += 1
         return self.busy_until
 
+    def charge_replay(self, flits: int, now: float) -> None:
+        """Charge a Razor-style replay penalty of *flits* retransmissions.
+
+        Error-correction policies call this when their error model fires:
+        the replayed flits re-occupy the wire (extending ``busy_until``, so
+        downstream traffic sees real backpressure) and their switching
+        energy is billed on top of the steady-state integration, which in
+        this model is activity-independent.
+        """
+        if flits <= 0:
+            return
+        occupancy = flits * self._serialization_cycles
+        start = self.busy_until if self.busy_until > now else now
+        self.busy_until = start + occupancy
+        self.busy_cycles_total += occupancy
+        self.replay_count += flits
+        energy = self._power_w * (occupancy / self.router_clock_hz)
+        self.replay_energy_j += energy
+        self.link_energy_j += energy
+
     # ------------------------------------------------------------------
     # Energy
     # ------------------------------------------------------------------
@@ -346,6 +478,11 @@ class DVSChannel:
         if now < self._last_energy_cycle:
             return
         self._accrue_energy(now)
+        if self._phase is ChannelPhase.SLEEP:
+            # Account sleep time for a run ending mid-sleep (idempotent:
+            # the start marker advances with the accounted span).
+            self.sleep_cycles += now - self._sleep_started_cycle
+            self._sleep_started_cycle = now
 
     def average_power_w(self, now: int) -> float:
         """Mean channel power from cycle 0 to *now* (finalizes bookkeeping)."""

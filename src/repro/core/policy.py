@@ -35,11 +35,20 @@ from .thresholds import TABLE1_DEFAULT, ThresholdSet
 
 
 class DVSAction(enum.Enum):
-    """Per-window decision of a DVS policy."""
+    """Per-window decision of a DVS policy.
+
+    ``STEP_DOWN``/``HOLD``/``STEP_UP`` are the paper's three actions; the
+    ``value`` is the signed level delta the controller applies. ``SLEEP``
+    and ``WAKE`` extend the action space for shutdown-capable policies
+    (Tsai-style link shutdown below level 0): they do not map to a level
+    delta and are handled explicitly by the port controller.
+    """
 
     STEP_DOWN = -1
     HOLD = 0
     STEP_UP = 1
+    SLEEP = -2
+    WAKE = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +63,11 @@ class PolicyInputs:
         level: The channel's current operating level (ascending frequency).
         max_level: Top level index of the channel's VF table.
         cycle: Router cycle at which the window closed.
+        asleep: Whether the channel is in the sleep state below level 0
+            (always ``False`` for channels without shutdown support).
+        sleep_demand: Whether traffic tried to use the channel while it
+            slept during this window — the wake signal for shutdown
+            policies.
     """
 
     link_utilization: float
@@ -61,14 +75,26 @@ class PolicyInputs:
     level: int
     max_level: int
     cycle: int
+    asleep: bool = False
+    sleep_demand: bool = False
 
 
 class DVSPolicy(ABC):
     """Interface all per-port DVS policies implement."""
 
+    #: Whether this policy's error model charges replay penalties; when
+    #: True the port controller drains :meth:`consume_replay_flits` every
+    #: window and bills them to the channel. Class attribute so the
+    #: controller's hot path pays one attribute read for ordinary policies.
+    has_replay: bool = False
+
     @abstractmethod
     def decide(self, inputs: PolicyInputs) -> DVSAction:
         """Fold in one window's observations and return the action."""
+
+    def consume_replay_flits(self) -> int:
+        """Flits to replay for errors detected in the last window (drains)."""
+        return 0
 
     def reset(self) -> None:  # pragma: no cover - trivial default
         """Clear any internal prediction state."""
@@ -272,3 +298,101 @@ class AdaptiveThresholdPolicy(DVSPolicy):
         self._bu_predictor.reset()
         self._low = self._base.low_uncongested
         self._calm_windows = 0
+
+
+# ---------------------------------------------------------------------------
+# Registry entries for the paper's policies.
+#
+# Factories receive the resolved DVSControlConfig plus a PolicyBuildContext
+# and must read their knob values through ``knob_values`` so that both the
+# legacy config attributes (``ewma_weight``, ``static_level``) and the
+# generic ``params`` mapping work, with identical precedence everywhere.
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING  # noqa: E402
+
+from .registry import (  # noqa: E402
+    PolicyBuildContext,
+    PolicyKnob,
+    knob_values,
+    register_null_policy,
+    register_policy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import DVSControlConfig
+
+
+_EWMA_KNOB = PolicyKnob(
+    "ewma_weight",
+    default=3.0,
+    minimum=1e-9,
+    sweep=(1.0, 3.0, 7.0),
+    description="history weight W of the EWMA predictor (Eq. (5))",
+)
+
+
+register_null_policy(
+    "none",
+    description="no DVS control: links pinned at the top level (paper baseline)",
+)
+
+
+@register_policy(
+    "history",
+    description="the paper's Algorithm 1: EWMA-predicted LU with BU litmus",
+    knobs=(_EWMA_KNOB,),
+    uses_thresholds=True,
+)
+def _build_history(dvs: "DVSControlConfig", context: PolicyBuildContext) -> DVSPolicy:
+    values = knob_values(dvs)
+    return HistoryDVSPolicy(dvs.thresholds, weight=values["ewma_weight"])
+
+
+@register_policy(
+    "static",
+    description="offline-chosen fixed level (variable-frequency links baseline)",
+    knobs=(
+        PolicyKnob(
+            "static_level",
+            default=0,
+            minimum=0,
+            integer=True,
+            level_indexed=True,
+            sweep=(0, 3, 6, 9),
+            description="the pinned V/F level (0 = slowest)",
+        ),
+    ),
+)
+def _build_static(dvs: "DVSControlConfig", context: PolicyBuildContext) -> DVSPolicy:
+    values = knob_values(dvs)
+    return StaticLevelPolicy(int(values["static_level"]))
+
+
+@register_policy(
+    "lu_only",
+    description="Section 3.1 strawman: LU thresholds without the BU litmus",
+    knobs=(_EWMA_KNOB,),
+    uses_thresholds=True,
+)
+def _build_lu_only(dvs: "DVSControlConfig", context: PolicyBuildContext) -> DVSPolicy:
+    values = knob_values(dvs)
+    return LinkUtilizationOnlyPolicy(dvs.thresholds, weight=values["ewma_weight"])
+
+
+@register_policy(
+    "adaptive_threshold",
+    description="Section 4.4.2 extension: slowly adapting light-load pair",
+    knobs=(
+        PolicyKnob(
+            "ewma_weight",
+            default=3.0,
+            minimum=1e-9,
+            description="history weight W of the EWMA predictor (Eq. (5))",
+        ),
+    ),
+    uses_thresholds=True,
+)
+def _build_adaptive(dvs: "DVSControlConfig", context: PolicyBuildContext) -> DVSPolicy:
+    values = knob_values(dvs)
+    return AdaptiveThresholdPolicy(dvs.thresholds, weight=values["ewma_weight"])

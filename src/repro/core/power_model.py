@@ -153,6 +153,20 @@ class LinkPowerModel:
             raise ConfigError("a channel needs at least one lane")
         return lanes * self.level_power_w(table, level)
 
+    def sleep_power_w(self, retention_voltage_v: float, lanes: int = 8) -> float:
+        """Leakage power (W) of a *lanes*-link channel held at a retention
+        rail below the operating range (Tsai-style link shutdown).
+
+        With the clocks gated the switching term vanishes; what remains is
+        the supply-proportional bias term ``k2 * V`` evaluated at the
+        retention voltage.
+        """
+        if retention_voltage_v <= 0.0:
+            raise ConfigError("retention voltage must be positive")
+        if lanes <= 0:
+            raise ConfigError("a channel needs at least one lane")
+        return lanes * self._k2 * retention_voltage_v
+
     def level_powers_w(self, table: VFTable) -> tuple[float, ...]:
         """Per-link power for every level of *table*, slowest first."""
         return tuple(self.power_w(point) for point in table)

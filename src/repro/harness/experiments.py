@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import DVSControlConfig, SimulationConfig
+from ..core.registry import policy_label
 from ..core.thresholds import TABLE2_SETTINGS
 from ..errors import ExperimentError
 from ..power.router_power import RouterPowerProfile
@@ -264,15 +265,19 @@ def _dvs_comparison(
 ) -> FigureResult:
     rates = rates if rates is not None else scale.sweep_rates
     base = scale.simulation(rates[0], workload_overrides={"average_tasks": tasks})
+    baseline_dvs = DVSControlConfig(policy="none")
+    history_dvs = DVSControlConfig(policy="history")
+    # Column labels come from the registry so knob overrides (or swapped-in
+    # plugin policies) relabel the figure automatically. The paper's
+    # defaults render as "none" / "history".
+    baseline_name = policy_label(baseline_dvs)
+    dvs_name = policy_label(history_dvs)
     sweeps = compare_policies(
         base,
         rates,
-        {
-            "none": DVSControlConfig(policy="none"),
-            "history": DVSControlConfig(policy="history"),
-        },
+        {baseline_name: baseline_dvs, dvs_name: history_dvs},
     )
-    baseline, dvs = sweeps["none"], sweeps["history"]
+    baseline, dvs = sweeps[baseline_name], sweeps[dvs_name]
     summary = summarize_comparison(baseline, dvs)
     rows = [
         (
@@ -289,14 +294,14 @@ def _dvs_comparison(
     ]
     return FigureResult(
         figure,
-        f"history-based DVS vs non-DVS, {tasks} tasks",
+        f"{dvs_name}-policy DVS vs non-DVS, {tasks} tasks",
         [
             "rate",
             "offered",
-            "lat_nodvs",
-            "lat_dvs",
-            "acc_nodvs",
-            "acc_dvs",
+            f"lat_{baseline_name}",
+            f"lat_{dvs_name}",
+            f"acc_{baseline_name}",
+            f"acc_{dvs_name}",
             "norm_power",
             "savings",
         ],
@@ -698,28 +703,30 @@ def ablation_congestion_litmus(
     """What the BU congestion litmus buys: history vs LU-only policy."""
     rates = rates if rates is not None else scale.sweep_rates
     base = scale.simulation(rates[0], workload_overrides={"average_tasks": 100})
-    sweeps = compare_policies(
-        base,
-        rates,
-        {
-            "history": DVSControlConfig(policy="history"),
-            "lu_only": DVSControlConfig(policy="lu_only"),
-        },
-    )
+    full = DVSControlConfig(policy="history")
+    lu = DVSControlConfig(policy="lu_only")
+    full_name, lu_name = policy_label(full), policy_label(lu)
+    sweeps = compare_policies(base, rates, {full_name: full, lu_name: lu})
     rows = [
         (
             rate,
-            round(sweeps["history"][i].mean_latency, 1),
-            round(sweeps["lu_only"][i].mean_latency, 1),
-            round(sweeps["history"][i].normalized_power, 3),
-            round(sweeps["lu_only"][i].normalized_power, 3),
+            round(sweeps[full_name][i].mean_latency, 1),
+            round(sweeps[lu_name][i].mean_latency, 1),
+            round(sweeps[full_name][i].normalized_power, 3),
+            round(sweeps[lu_name][i].normalized_power, 3),
         )
         for i, rate in enumerate(rates)
     ]
     return FigureResult(
         "Ablation",
         "congestion litmus: full policy vs LU-only",
-        ["rate", "lat_history", "lat_lu_only", "pwr_history", "pwr_lu_only"],
+        [
+            "rate",
+            f"lat_{full_name}",
+            f"lat_{lu_name}",
+            f"pwr_{full_name}",
+            f"pwr_{lu_name}",
+        ],
         rows,
         extras={"sweeps": sweeps},
     )
@@ -848,28 +855,32 @@ def ablation_adaptive_thresholds(
     """The paper's suggested extension: dynamically adjusted thresholds."""
     rates = rates if rates is not None else scale.sweep_rates
     base = scale.simulation(rates[0], workload_overrides={"average_tasks": 100})
+    static = DVSControlConfig(policy="history")
+    adaptive = DVSControlConfig(policy="adaptive_threshold")
+    static_name, adaptive_name = policy_label(static), policy_label(adaptive)
     sweeps = compare_policies(
-        base,
-        rates,
-        {
-            "history": DVSControlConfig(policy="history"),
-            "adaptive": DVSControlConfig(policy="adaptive_threshold"),
-        },
+        base, rates, {static_name: static, adaptive_name: adaptive}
     )
     rows = [
         (
             rate,
-            round(sweeps["history"][i].mean_latency, 1),
-            round(sweeps["adaptive"][i].mean_latency, 1),
-            round(sweeps["history"][i].normalized_power, 3),
-            round(sweeps["adaptive"][i].normalized_power, 3),
+            round(sweeps[static_name][i].mean_latency, 1),
+            round(sweeps[adaptive_name][i].mean_latency, 1),
+            round(sweeps[static_name][i].normalized_power, 3),
+            round(sweeps[adaptive_name][i].normalized_power, 3),
         )
         for i, rate in enumerate(rates)
     ]
     return FigureResult(
         "Extension",
         "static vs dynamically adjusted thresholds",
-        ["rate", "lat_static", "lat_adaptive", "pwr_static", "pwr_adaptive"],
+        [
+            "rate",
+            f"lat_{static_name}",
+            f"lat_{adaptive_name}",
+            f"pwr_{static_name}",
+            f"pwr_{adaptive_name}",
+        ],
         rows,
         extras={"sweeps": sweeps},
     )

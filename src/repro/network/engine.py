@@ -77,17 +77,11 @@ from __future__ import annotations
 import math
 from bisect import insort
 
-from ..config import DVSControlConfig, SimulationConfig
+from ..config import SimulationConfig
 from ..core.controller import PortDVSController
 from ..core.dvs_link import DVSChannel
-from ..core.policy import (
-    AdaptiveThresholdPolicy,
-    DVSPolicy,
-    HistoryDVSPolicy,
-    LinkUtilizationOnlyPolicy,
-    StaticLevelPolicy,
-)
-from ..errors import ConfigError, SimulationError
+from ..core.registry import PolicyBuildContext, build_policy
+from ..errors import SimulationError
 from ..instrument.bus import InstrumentBus, TransitionEvent
 from .channel import NetworkChannel
 from .packet import Packet
@@ -97,18 +91,6 @@ from .topology import Topology
 
 #: Sentinel "no spill events": compares greater than any real cycle.
 _NEVER = math.inf
-
-
-def _build_policy(dvs: DVSControlConfig) -> DVSPolicy:
-    if dvs.policy == "history":
-        return HistoryDVSPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    if dvs.policy == "static":
-        return StaticLevelPolicy(dvs.static_level)
-    if dvs.policy == "lu_only":
-        return LinkUtilizationOnlyPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    if dvs.policy == "adaptive_threshold":
-        return AdaptiveThresholdPolicy(dvs.thresholds, weight=dvs.ewma_weight)
-    raise ConfigError(f"no policy object for {dvs.policy!r}")
 
 
 class SimulationEngine:
@@ -225,6 +207,8 @@ class SimulationEngine:
                 router_clock_hz=net.router_clock_hz,
                 timing=timing,
                 initial_level=initial_level,
+                retention_voltage_v=link.sleep_retention_voltage_v,
+                wake_lockout_cycles=link.sleep_wake_lockout_cycles,
             )
             channel = NetworkChannel(spec, dvs_channel, net.pipeline_latency)
             self.routers[spec.src_node].attach_channel(
@@ -243,10 +227,15 @@ class SimulationEngine:
                 tracker = self.routers[spec.dst_node].occupancy[spec.dst_port]
                 if tracker is None:
                     raise SimulationError("network input port lacks a tracker")
+                context = PolicyBuildContext(
+                    table=table,
+                    channel_index=spec.channel_id,
+                    window_cycles=config.dvs.history_window,
+                )
                 self.controllers.append(
                     PortDVSController(
                         channel.dvs,
-                        _build_policy(config.dvs),
+                        build_policy(config.dvs, context),
                         tracker,
                         window_cycles=config.dvs.history_window,
                         buffer_capacity=net.buffers_per_port,

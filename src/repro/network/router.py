@@ -482,6 +482,8 @@ class Router:
                             arbiter = arbiters[out_port]
                             arbiter._next = (rid + 1) % arbiter.size
                             grants.append(vcstate)
+                        elif dvs.sleeping:
+                            dvs.sleep_demand = True
         elif count:
             # Scan only the occupied VCs, in ascending request-id order —
             # the exact order the old full scan visited non-empty VCs.
@@ -532,6 +534,8 @@ class Router:
                     continue
                 dvs = port_dvs[out_port]
                 if dvs.locked or dvs.busy_until >= horizon:
+                    if dvs.sleeping:
+                        dvs.sleep_demand = True
                     continue
                 bucket = req_lists[out_port]
                 if not bucket:
@@ -897,6 +901,8 @@ class Router:
                 continue
             dvs = self.channels[out_port].dvs
             if dvs.locked or dvs.busy_until >= now + 1:
+                if dvs.sleeping:
+                    dvs.sleep_demand = True
                 continue
             if requests is None:
                 requests = {}

@@ -1,11 +1,15 @@
 """Fixture: R3 (traffic contract), R4 (observer skip-safety), R5 (config),
-R6 (hot-path allocation)."""
+R6 (hot-path allocation), R8 (policy purity)."""
 
+import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.policy import DVSAction, DVSPolicy
 from repro.instrument.bus import Observer
 from repro.traffic.base import TrafficSource
+
+_DECISION_LOG = []
 
 
 class UnpredictableTraffic(TrafficSource):  # one R3 violation
@@ -37,6 +41,38 @@ class DeclaredObserver(Observer):  # clean: documents the intent
 class CallbackConfig:  # one R5 violation: a callable cannot be a cache key
     rate: float = 1.0
     on_drop: Callable[[int], None] = print
+
+
+class CoinFlipPolicy(DVSPolicy):  # one R8 violation in decide()
+    def decide(self, inputs):
+        if random.randrange(2):  # unseeded: shared global generator
+            return DVSAction.STEP_DOWN
+        return DVSAction.HOLD
+
+    def reset(self):
+        pass
+
+
+class AuditedPolicy(DVSPolicy):  # suppressed R8: must NOT be reported
+    def decide(self, inputs):
+        _DECISION_LOG.append(inputs)  # repro-lint: ignore[R8]
+        return DVSAction.HOLD
+
+    def reset(self):
+        pass
+
+
+class SeededPolicy(DVSPolicy):  # clean: seeded generator on self is pure
+    def __init__(self):
+        self._rng = random.Random(7)
+
+    def decide(self, inputs):
+        if self._rng.random() < 0.5:
+            return DVSAction.STEP_DOWN
+        return DVSAction.HOLD
+
+    def reset(self):
+        self._rng = random.Random(7)
 
 
 def collect_ready(queues) -> int:  # repro-hot

@@ -97,4 +97,4 @@ class TestSweepProcesses:
             "sweep", "--rates", "0.3,0.6", "--scale", "smoke",
             "--processes", "2",
         ]) == 0
-        assert "DVS vs non-DVS sweep" in capsys.readouterr().out
+        assert "DVS (history) vs non-DVS sweep" in capsys.readouterr().out

@@ -20,12 +20,16 @@ class TestSweepCommand:
         code = main(["sweep", "--rates", "0.2,0.6", "--scale", "smoke"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "lat_nodvs" in out
+        assert "lat_none" in out and "lat_history" in out
         assert "power savings" in out
 
     def test_sweep_bad_rates(self, capsys):
-        with pytest.raises(ValueError):
-            main(["sweep", "--rates", "fast", "--scale", "smoke"])
+        assert main(["sweep", "--rates", "fast", "--scale", "smoke"]) == 2
+        assert "bad --rates" in capsys.readouterr().err
+
+    def test_sweep_empty_rates(self, capsys):
+        assert main(["sweep", "--rates", "", "--scale", "smoke"]) == 2
+        assert "at least one rate" in capsys.readouterr().err
 
 
 class TestResilienceFlags:
@@ -72,7 +76,7 @@ class TestResilienceFlags:
              "--retries", "1", "--timeout", "300", "--keep-going"]
         )
         assert code == 0
-        assert "lat_nodvs" in capsys.readouterr().out
+        assert "lat_none" in capsys.readouterr().out
 
     def test_invalid_retries_flag_is_a_clean_error(self, capsys):
         code = main(

@@ -361,6 +361,144 @@ class TestRuleR7:
         assert [v for v in violations if v.rule == "R7"] == []
 
 
+class TestRuleR8:
+    """Policy purity: decide() may not touch unseeded randomness, the wall
+    clock, or module-level state. Unscoped — applies in every file."""
+
+    def test_unseeded_randomness_in_decide_flagged(self):
+        source = """
+            import random
+
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            class Flaky(DVSPolicy):
+                def decide(self, inputs):
+                    return DVSAction(random.choice([-1, 0, 1]))
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        r8 = [v for v in violations if v.rule == "R8"]
+        assert len(r8) == 1
+        assert "random.choice" in r8[0].message
+
+    def test_seeded_rng_on_self_is_clean(self):
+        source = """
+            import random
+
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            class Seeded(DVSPolicy):
+                def __init__(self):
+                    self._rng = random.Random(1)
+
+                def decide(self, inputs):
+                    if self._rng.random() < 0.5:
+                        return DVSAction.STEP_DOWN
+                    return DVSAction.HOLD
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        assert [v for v in violations if v.rule == "R8"] == []
+
+    def test_wall_clock_in_decide_flagged(self):
+        source = """
+            import time
+
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            class Clocked(DVSPolicy):
+                def decide(self, inputs):
+                    if time.time() > 0:
+                        return DVSAction.HOLD
+                    return DVSAction.STEP_UP
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        r8 = [v for v in violations if v.rule == "R8"]
+        assert len(r8) == 1
+        assert "wall-clock" in r8[0].message
+
+    def test_global_statement_flagged(self):
+        source = """
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            _CALLS = 0
+
+            class Counting(DVSPolicy):
+                def decide(self, inputs):
+                    global _CALLS
+                    _CALLS = _CALLS + 1
+                    return DVSAction.HOLD
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        assert any(
+            v.rule == "R8" and "global statement" in v.message
+            for v in violations
+        )
+
+    def test_module_state_mutation_flagged(self):
+        source = """
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            _HISTORY = []
+            _LAST = {}
+
+            class Leaky(DVSPolicy):
+                def decide(self, inputs):
+                    _HISTORY.append(inputs.link_utilization)
+                    _LAST["lu"] = inputs.link_utilization
+                    return DVSAction.HOLD
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        r8 = sorted(v.message for v in violations if v.rule == "R8")
+        assert len(r8) == 2
+        assert any("_HISTORY" in m and "mutation" in m for m in r8)
+        assert any("_LAST" in m and "store" in m for m in r8)
+
+    def test_local_shadowing_module_name_is_clean(self):
+        source = """
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            window = 200
+
+            class Shadowing(DVSPolicy):
+                def decide(self, inputs):
+                    window = [inputs.link_utilization]
+                    window.append(inputs.buffer_utilization)
+                    return DVSAction.HOLD
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        assert [v for v in violations if v.rule == "R8"] == []
+
+    def test_self_state_and_helpers_are_clean(self):
+        source = """
+            from repro.core.policy import DVSAction, DVSPolicy
+
+            class Stateful(DVSPolicy):
+                def decide(self, inputs):
+                    self._ewma = 0.5 * inputs.link_utilization
+                    self._seen.append(inputs.window_cycles)
+                    return max(DVSAction.HOLD, DVSAction.HOLD)
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        assert [v for v in violations if v.rule == "R8"] == []
+
+    def test_non_policy_class_not_scanned(self):
+        source = """
+            import random
+
+            class FreeAgent:
+                def decide(self, inputs):
+                    return random.choice([0, 1])
+            """
+        violations = _lint_source(source, "src/repro/plugins/x.py")
+        assert [v for v in violations if v.rule == "R8"] == []
+
+    def test_real_policy_modules_are_clean(self):
+        violations, errors = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "core"]
+        )
+        assert errors == []
+        assert [v for v in violations if v.rule == "R8"] == []
+
+
 class TestSuppressions:
     def test_inline_ignore_suppresses_only_that_rule(self):
         source = """
