@@ -1,0 +1,365 @@
+"""Batched sweep benchmark: lockstep kernel vs a scalar-loop baseline.
+
+Runs a saturating uniform-traffic threshold sweep — the exact workload
+shape `repro sweep`/`repro pareto` produce: one topology and traffic
+trace, N policy-knob variants — through the batched lockstep kernel
+(:mod:`repro.network.batched`) at batch sizes 1, 8 and 32, against
+running the scalar kernel once per config. The headline metric is
+**configs/second**; the committed acceptance bar (BENCH_batched_sweep.json)
+is >= 4x configs/sec at batch size 32 versus the scalar loop.
+
+The sweep is chosen to be *convergent*: under saturation every member's
+EWMA-predicted link utilization exceeds every Table 2 step-up threshold,
+so all members issue identical channel effects and the whole batch rides
+one equivalence class (`class_count` is recorded per run as the honesty
+check — a divergent sweep degrades toward 1x, see docs/performance.md).
+
+Baseline workflow mirrors bench_step_throughput.py::
+
+    PYTHONPATH=src python benchmarks/bench_batched_sweep.py --tiny \
+        --write-baseline            # regenerate BENCH_batched_sweep.json
+    PYTHONPATH=src python benchmarks/bench_batched_sweep.py --tiny \
+        --check-regression         # CI perf-smoke gate (25% tolerance)
+
+``--golden-smoke`` additionally runs a small *divergent* sweep through
+both kernels and exits non-zero unless every result is bit-identical
+(equality, not closeness) — the cheap CI version of the exhaustive golden
+equivalence suite in tests/test_batched_kernel.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import (
+    DVSControlConfig,
+    LinkConfig,
+    NetworkConfig,
+    SimulationConfig,
+    WorkloadConfig,
+)
+from repro.core.thresholds import TABLE2_SETTINGS
+from repro.harness.serialization import write_json
+from repro.network.batched import BatchedEngine, plan_batches
+from repro.network.simulator import Simulator
+
+try:  # standalone: python benchmarks/bench_batched_sweep.py
+    from common import add_profile_argument, maybe_profile
+except ImportError:  # imported as benchmarks.bench_batched_sweep
+    from .common import add_profile_argument, maybe_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+#: Tracked baseline, committed at the repo root. Regenerate with
+#: ``--write-baseline`` (once per mode: with and without ``--tiny``).
+BASELINE_PATH = REPO_ROOT / "BENCH_batched_sweep.json"
+
+BATCH_SIZES = (1, 8, 32)
+
+
+def sweep_configs(tiny: bool) -> list[SimulationConfig]:
+    """32 lockstep-compatible configs: a saturating light-pair threshold grid.
+
+    The grid follows the paper's Table 2 shape — settings I–VI vary the
+    *light-load* threshold pair and share the congested pair — extended
+    to a 32-point light-pair grid placed *below* the saturated network's
+    predicted-utilization floor. Uniform traffic well past saturation
+    keeps busy links above every step-up threshold in the grid (unanimous
+    step-up), while lightly-loaded edge links never leave voltage level 0,
+    where step-down and hold are the same no-op. Every member therefore
+    issues identical channel effects and the batch rides one equivalence
+    class. A grid straddling the utilization spread instead splits at the
+    very first window (measured: 32 configs -> 22 classes, ~1.4x) — the
+    honest divergent case documented in docs/performance.md.
+    """
+    base = SimulationConfig(
+        network=NetworkConfig(radix=4 if tiny else 8, dimensions=2),
+        dvs=DVSControlConfig(policy="history"),
+        workload=WorkloadConfig(kind="uniform", injection_rate=8.0, seed=1),
+        warmup_cycles=200 if tiny else 500,
+        measure_cycles=1_000 if tiny else 2_500,
+    )
+    reference = TABLE2_SETTINGS["I"]
+    configs = []
+    for step in range(32):
+        low = round(0.02 + 0.002 * step, 4)
+        thresholds = reference.with_light_load_pair(low, round(low + 0.06, 4))
+        configs.append(
+            replace(base, dvs=replace(base.dvs, thresholds=thresholds))
+        )
+    return configs
+
+
+def time_scalar_loop(configs: list[SimulationConfig], repeats: int) -> float:
+    """Best-of-*repeats* wall time for the scalar kernel run per config."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for config in configs:
+            Simulator(config).run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def time_batched(
+    configs: list[SimulationConfig], batch_size: int, repeats: int
+) -> tuple[float, int, int]:
+    """Best wall time running *configs* in lockstep batches of *batch_size*.
+
+    Returns ``(wall_s, class_count, splits)`` summed over the batches of
+    the best repeat — the class count is the honesty signal: a convergent
+    sweep should report one class per batch.
+    """
+    batches = plan_batches(configs, batch_size)
+    best = None
+    best_stats = (0, 0)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        classes = splits = 0
+        for batch in batches:
+            engine = BatchedEngine([configs[i] for i in batch])
+            engine.run()
+            classes += engine.class_count
+            splits += engine.splits
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            best_stats = (classes, splits)
+    return best, best_stats[0], best_stats[1]
+
+
+def run_matrix(tiny: bool, repeats: int) -> dict:
+    configs = sweep_configs(tiny)
+    count = len(configs)
+    scalar_wall = time_scalar_loop(configs, repeats)
+    scalar_cps = count / scalar_wall
+    print(
+        f"scalar-loop {count} configs in {scalar_wall:6.2f} s "
+        f"({scalar_cps:6.2f} configs/s)"
+    )
+    rows = {}
+    for batch_size in BATCH_SIZES:
+        wall, classes, splits = time_batched(configs, batch_size, repeats)
+        cps = count / wall
+        speedup = cps / scalar_cps
+        rows[str(batch_size)] = {
+            "wall_s": round(wall, 3),
+            "configs_per_s": round(cps, 2),
+            "speedup_vs_scalar": round(speedup, 3),
+            "classes": classes,
+            "splits": splits,
+        }
+        print(
+            f"batch={batch_size:3d}   {count} configs in {wall:6.2f} s "
+            f"({cps:6.2f} configs/s, {speedup:5.2f}x vs scalar, "
+            f"{classes} classes, {splits} splits)"
+        )
+    return {
+        "configs": count,
+        "scalar_wall_s": round(scalar_wall, 3),
+        "scalar_configs_per_s": round(scalar_cps, 2),
+        "batches": rows,
+    }
+
+
+def golden_smoke(tiny: bool) -> int:
+    """Small divergent sweep, batched vs scalar, strict equality."""
+    link = LinkConfig(
+        voltage_transition_s=0.2e-6, frequency_transition_link_cycles=4
+    )
+    base = SimulationConfig(
+        network=NetworkConfig(radix=4 if tiny else 8, dimensions=2),
+        link=link,
+        dvs=DVSControlConfig(policy="history"),
+        workload=WorkloadConfig(
+            kind="two_level",
+            injection_rate=0.6,
+            seed=7,
+            average_tasks=5,
+            average_task_duration_s=3.0e-6,
+        ),
+        warmup_cycles=500,
+        measure_cycles=1_500,
+    )
+    configs = [
+        replace(
+            base,
+            dvs=replace(base.dvs, thresholds=thresholds, ewma_weight=weight),
+        )
+        for weight in (1.0, 3.0)
+        for thresholds in (
+            TABLE2_SETTINGS["I"],
+            TABLE2_SETTINGS["IV"],
+            TABLE2_SETTINGS["VI"],
+        )
+    ]
+    engine = BatchedEngine(configs)
+    batched = engine.run()
+    mismatches = [
+        config
+        for config, result in zip(configs, batched)
+        if Simulator(config).run() != result
+    ]
+    if mismatches:
+        print(
+            f"FAIL: golden smoke found {len(mismatches)} batched-vs-scalar "
+            "mismatches (divergent two_level sweep, "
+            f"{engine.class_count} classes)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"golden smoke: {len(configs)} divergent configs bit-identical to "
+        f"scalar ({engine.class_count} classes, {engine.splits} splits)"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Tracked baseline (BENCH_batched_sweep.json)
+# ---------------------------------------------------------------------------
+
+
+def _update_mode_entry(path: Path, mode: str, entry: dict) -> None:
+    """Merge *entry* under ``modes[mode]``, preserving the other mode."""
+    report = {"benchmark": "batched_sweep", "modes": {}}
+    if path.exists():
+        existing = json.loads(path.read_text())
+        if isinstance(existing.get("modes"), dict):
+            report["modes"] = existing["modes"]
+    report["modes"][mode] = entry
+    write_json(report, path)
+
+
+def write_baseline(matrix: dict, mode: str) -> None:
+    entry = dict(matrix)
+    entry["command"] = (
+        "python benchmarks/bench_batched_sweep.py "
+        f"{'--tiny ' if mode == 'tiny' else ''}--write-baseline"
+    )
+    _update_mode_entry(BASELINE_PATH, mode, entry)
+    print(f"baseline written to {BASELINE_PATH}")
+
+
+def check_regression(
+    matrix: dict, baseline_path: Path, mode: str, tolerance: float
+) -> int:
+    """Fail when configs/sec fell >*tolerance* below baseline at any size."""
+    if not baseline_path.exists():
+        print(f"FAIL: no baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get("modes", {}).get(mode)
+    if entry is None:
+        print(
+            f"FAIL: baseline {baseline_path} has no '{mode}' mode; "
+            "regenerate with --write-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    floor = 1.0 - tolerance
+    failures = []
+    checks = [("scalar", matrix["scalar_configs_per_s"],
+               entry["scalar_configs_per_s"])]
+    for size, row in matrix["batches"].items():
+        tracked = entry["batches"].get(size)
+        if tracked is not None:
+            checks.append(
+                (f"batch={size}", row["configs_per_s"],
+                 tracked["configs_per_s"])
+            )
+    for name, current, tracked in checks:
+        ratio = current / tracked
+        marker = "ok" if ratio >= floor else "REGRESSION"
+        print(
+            f"  {name:12s} {current:8.2f} configs/s vs baseline "
+            f"{tracked:8.2f} ({ratio:5.2f}x)  {marker}"
+        )
+        if ratio < floor:
+            failures.append((name, ratio))
+    if failures:
+        print(
+            f"FAIL: configs/sec more than {tolerance:.0%} below baseline on: "
+            + ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failures),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"configs/sec within {tolerance:.0%} of baseline at every size")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI-sized runs (4x4 mesh, short cycle counts)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timed repeats per size; best is reported (default 1)",
+    )
+    parser.add_argument(
+        "--json", default=str(RESULTS_DIR / "batched_sweep.json"),
+        help="result JSON path ('' to skip writing)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH),
+        help="tracked baseline JSON path (default: BENCH_batched_sweep.json)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate BENCH_batched_sweep.json for this mode",
+    )
+    parser.add_argument(
+        "--check-regression", action="store_true",
+        help="exit non-zero if configs/sec fell more than "
+             "--regression-tolerance below the tracked baseline",
+    )
+    parser.add_argument(
+        "--regression-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional configs/sec drop vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--golden-smoke", action="store_true",
+        help="also run a divergent sweep through both kernels and require "
+             "bit-identical results",
+    )
+    add_profile_argument(parser)
+    args = parser.parse_args(argv)
+
+    with maybe_profile(args.profile):
+        matrix = run_matrix(args.tiny, max(1, args.repeats))
+
+    report = {"benchmark": "batched_sweep", "tiny": args.tiny, **matrix}
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        write_json(report, path)
+        print(f"results written to {path}")
+
+    mode = "tiny" if args.tiny else "default"
+    if args.golden_smoke:
+        status = golden_smoke(args.tiny)
+        if status:
+            return status
+    if args.write_baseline:
+        write_baseline(matrix, mode)
+    if args.check_regression:
+        print(f"\nregression check vs {args.baseline} [{mode}]:")
+        status = check_regression(
+            matrix, Path(args.baseline), mode, args.regression_tolerance
+        )
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,14 @@ pytest-benchmark) so CI can run it as a perf smoke test::
 ``--require-fast-forward`` exits non-zero if the fast-forward kernel never
 skipped a cycle on the low-duty scenarios — the guard that keeps the
 optimization from silently rotting into a no-op.
-``--max-sanitize-overhead X`` exits non-zero if the sanitizer-enabled run is
-more than ``X`` times slower than the plain fast-forward run on any
-scenario (the acceptance bar is 2.0 on the tiny matrix).
+``--check-sanitize-overhead`` gates the sanitizer-enabled run's slowdown
+*per mode against the tracked baseline*: each scenario's
+sanitize/fastforward wall-time ratio must stay within
+``--sanitize-headroom`` (default 1.5x) of the ratio recorded for the same
+scenario in ``BENCH_step_throughput.json``'s matching mode. A fixed
+absolute cap is also available (``--max-sanitize-overhead X``) but is not
+used in CI — the default-scale matrix legitimately records ~1.93x, which
+left ~3.5% headroom under the old hard 2.0x bar and flaked on noise.
 
 The script also owns the tracked perf baseline committed at the repo root:
 ``--write-baseline`` regenerates ``BENCH_step_throughput.json`` (per-scenario
@@ -339,6 +344,61 @@ def check_regression(
     return 0
 
 
+def check_sanitize_overhead(
+    rows: list[dict], baseline_path: Path, mode: str, headroom: float
+) -> int:
+    """Per-mode sanitize gate: fail when any scenario's sanitize overhead
+    exceeds *headroom* times the ratio tracked in the baseline's *mode*.
+
+    Relative to the committed baseline rather than an absolute cap: the
+    sanitizer's legitimate cost differs per mode (~1.16x on the tiny
+    matrix, ~1.93x at default scale), so one hard number either flakes on
+    the expensive mode or is meaningless on the cheap one.
+    """
+    if not baseline_path.exists():
+        print(f"FAIL: no baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    entry = baseline.get("modes", {}).get(mode)
+    if entry is None:
+        print(
+            f"FAIL: baseline {baseline_path} has no '{mode}' mode; "
+            "regenerate with --write-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    failures = []
+    for row in rows:
+        tracked = entry["rows"].get(row["scenario"], {})
+        tracked_overhead = tracked.get("sanitize_overhead")
+        if tracked_overhead is None:
+            continue
+        limit = tracked_overhead * headroom
+        ratio = row["sanitize_overhead"]
+        marker = "ok" if ratio <= limit else "SANITIZE REGRESSION"
+        print(
+            f"  {row['scenario']:28s} sanitize {ratio:5.2f}x vs baseline "
+            f"{tracked_overhead:5.2f}x (limit {limit:5.2f}x)  {marker}"
+        )
+        if ratio > limit:
+            failures.append((row["scenario"], ratio, limit))
+    if failures:
+        print(
+            "FAIL: sanitizer overhead above per-mode baseline headroom on: "
+            + ", ".join(
+                f"{name} ({ratio:.2f}x > {limit:.2f}x)"
+                for name, ratio, limit in failures
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"sanitizer overhead within {headroom:.2f}x of the '{mode}' "
+        "baseline on all scenarios"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -356,7 +416,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-sanitize-overhead", type=float, default=0.0, metavar="X",
         help="exit non-zero if sanitize/fastforward wall-time ratio exceeds X "
-             "on any scenario (0 = don't check)",
+             "on any scenario (0 = don't check; absolute cap — CI uses the "
+             "per-mode --check-sanitize-overhead gate instead)",
+    )
+    parser.add_argument(
+        "--check-sanitize-overhead", action="store_true",
+        help="exit non-zero if any scenario's sanitize overhead exceeds "
+             "--sanitize-headroom times the ratio tracked for this mode in "
+             "the baseline",
+    )
+    parser.add_argument(
+        "--sanitize-headroom", type=float, default=1.5, metavar="X",
+        help="allowed sanitize-overhead multiple of the per-mode baseline "
+             "(default 1.5)",
     )
     parser.add_argument(
         "--json", default=str(RESULTS_DIR / "step_throughput.json"),
@@ -449,6 +521,13 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     mode = "tiny" if args.tiny else "default"
+    if args.check_sanitize_overhead:
+        print(f"\nsanitize-overhead check vs {args.baseline} [{mode}]:")
+        status = check_sanitize_overhead(
+            rows, Path(args.baseline), mode, args.sanitize_headroom
+        )
+        if status:
+            return status
     if args.write_baseline:
         write_baseline(rows, mode, scenarios)
     if args.check_regression:

@@ -45,11 +45,17 @@ third-party dependencies):
     to container constructors (``list``, ``dict``, ``set``, ``frozenset``,
     ``tuple``, ``bytearray``, ``deque``, ``defaultdict``, ``Counter``).
     Hot functions run millions of times per sweep; per-call allocation is
-    the regression this PR's pooling work removed. Exempt: anything under
-    a ``raise`` statement (error paths may format messages freely) and
-    parallel assignments like ``a, b = x, y`` (CPython compiles small
-    unpackings to stack rotations, no tuple is materialized). The marker
-    is opt-in, so the rule applies in every linted file.
+    the regression this PR's pooling work removed. The rule is also
+    numpy-aware for the batched sweep kernel's vectorized hot lane
+    (``repro/network/batched.py``): calls through a ``numpy``/``np``
+    alias that always materialize an array (``np.zeros``, ``np.where``,
+    ``np.asarray``, ...) are flagged, and ufunc-style calls (``np.add``,
+    ``np.take``, ``np.less``, ...) are flagged unless they write into a
+    preallocated buffer via ``out=``. Exempt: anything under a ``raise``
+    statement (error paths may format messages freely) and parallel
+    assignments like ``a, b = x, y`` (CPython compiles small unpackings
+    to stack rotations, no tuple is materialized). The marker is opt-in,
+    so the rule applies in every linted file.
 
 ``R8`` policy-purity
     ``decide()`` on a :class:`~repro.core.policy.DVSPolicy` subclass must
@@ -164,6 +170,30 @@ _HOT_RE = re.compile(r"#\s*repro-hot\b")
 _R6_CONSTRUCTORS = frozenset(
     {"list", "dict", "set", "frozenset", "tuple", "bytearray", "deque",
      "defaultdict", "Counter", "OrderedDict"}
+)
+#: Module aliases whose attribute calls R6 inspects as numpy (the batched
+#: sweep kernel's hot lane is numpy-vectorized; a hidden temporary array
+#: per boundary is the same regression as a per-call list).
+_R6_NUMPY_MODULES = frozenset({"np", "numpy"})
+#: numpy calls that always materialize a fresh array.
+_R6_NUMPY_ALLOCATORS = frozenset(
+    {"zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+     "empty_like", "full_like", "arange", "linspace", "array", "asarray",
+     "ascontiguousarray", "concatenate", "stack", "vstack", "hstack",
+     "column_stack", "tile", "repeat", "where", "copy", "unique", "sort",
+     "argsort", "cumsum", "cumprod", "outer", "einsum", "dot", "matmul"}
+)
+#: numpy functions/ufuncs that allocate their result *unless* directed
+#: into a preallocated buffer via the ``out=`` keyword.
+_R6_NUMPY_OUT_AWARE = frozenset(
+    {"add", "subtract", "multiply", "divide", "true_divide",
+     "floor_divide", "mod", "remainder", "power", "sqrt", "exp", "log",
+     "abs", "absolute", "negative", "sign", "minimum", "maximum", "clip",
+     "round", "floor", "ceil", "less", "less_equal", "greater",
+     "greater_equal", "equal", "not_equal", "logical_and", "logical_or",
+     "logical_not", "logical_xor", "bitwise_and", "bitwise_or",
+     "bitwise_xor", "left_shift", "right_shift", "take", "sum", "prod",
+     "mean"}
 )
 #: Method names R8 treats as in-place mutation of the receiver.
 _R8_MUTATORS = frozenset(
@@ -768,8 +798,19 @@ class Linter:
             return None
         if isinstance(node, ast.Call):
             name = _dotted(node.func)
-            if name is not None and name.split(".")[-1] in _R6_CONSTRUCTORS:
+            if name is None:
+                return None
+            if name.split(".")[-1] in _R6_CONSTRUCTORS:
                 return f"{name}() constructor call"
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] in _R6_NUMPY_MODULES:
+                func = parts[1]
+                if func in _R6_NUMPY_ALLOCATORS:
+                    return f"numpy array allocation ({name}())"
+                if func in _R6_NUMPY_OUT_AWARE and not any(
+                    keyword.arg == "out" for keyword in node.keywords
+                ):
+                    return f"numpy temporary ({name}() without out=)"
         return None
 
     # -- R8: DVS policy purity -------------------------------------------

@@ -133,6 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--processes", type=int, default=1,
                        help="worker processes for the sweep (1 = serial)")
+    sweep.add_argument("--kernel", choices=("scalar", "batched"), default="scalar",
+                       help="simulation kernel: scalar (default) or batched lockstep sweeps")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore the on-disk sweep result cache")
     sweep.add_argument("--resume", action="store_true",
@@ -163,6 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--seed", type=int, default=1)
     pareto.add_argument("--processes", type=int, default=1,
                         help="worker processes for the campaign (1 = serial)")
+    pareto.add_argument("--kernel", choices=("scalar", "batched"), default="scalar",
+                        help="simulation kernel: scalar (default) or batched lockstep sweeps")
     pareto.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk sweep result cache")
     pareto.add_argument("--resume", action="store_true",
@@ -359,7 +363,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base,
         rates,
         {baseline_name: baseline_dvs, dvs_name: dvs_dvs},
-        backend=make_backend(args.processes, retry=_retry_policy(args)),
+        backend=make_backend(args.processes, retry=_retry_policy(args),
+                             kernel=getattr(args, "kernel", "scalar")),
         resume=args.resume,
         failures=report,
     )
@@ -440,7 +445,8 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         base,
         rates,
         policies,
-        backend=make_backend(args.processes, retry=_retry_policy(args)),
+        backend=make_backend(args.processes, retry=_retry_policy(args),
+                             kernel=getattr(args, "kernel", "scalar")),
         resume=args.resume,
         failures=report,
     )

@@ -290,6 +290,21 @@ class DVSChannel:
         self._begin_step(now)
         return True
 
+    def sleep_permitted(self, now: int) -> bool:
+        """Whether :meth:`request_sleep` at *now* would be accepted.
+
+        True exactly when the channel sits steady at level 0 and the
+        post-wake lockout has expired — the acceptance predicate of
+        :meth:`request_sleep`, exposed read-only so coordinators (e.g.
+        the batched sweep kernel) can mirror the decision without
+        mutating channel state.
+        """
+        return (
+            self._phase is ChannelPhase.STEADY
+            and self._level == self._target_level == 0
+            and now >= self._sleep_lockout_until
+        )
+
     def request_sleep(self, now: int) -> bool:
         """Enter the shutdown state below level 0 (Tsai-style link sleep).
 
@@ -299,11 +314,7 @@ class DVSChannel:
         the rail decay to the retention voltage is charged as one Eq. (1)
         transition — while the full latency cost is paid on the wake path.
         """
-        if not (
-            self._phase is ChannelPhase.STEADY
-            and self._level == self._target_level == 0
-            and now >= self._sleep_lockout_until
-        ):
+        if not self.sleep_permitted(now):
             return False
         self._accrue_energy(now)
         self.transition_energy_j += self.regulator.transition_energy_j(

@@ -44,6 +44,7 @@ from typing import Iterable, Iterator, Optional, cast
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
+from ..network.batched import BatchedEngine, DEFAULT_MAX_BATCH, plan_batches, require_numpy
 from ..network.simulator import SimulationResult
 from .cache import SweepCache, get_cache
 from .resilience import (
@@ -54,7 +55,7 @@ from .resilience import (
     run_chunk,
     run_point,
 )
-from .runner import run_simulation
+from .runner import _sanitize_from_env, run_simulation
 
 
 class ExecutionBackend:
@@ -212,13 +213,7 @@ class ProcessPoolBackend(ExecutionBackend):
         whatever interrupts the batch, finished work survives.
         """
         if self.processes == 1:
-            for config, index in zip(configs, indices):
-                result, failure = run_point(config, self.retry, runner=run_simulation)
-                if failure is not None:
-                    report.record(failure)
-                if result is not None and cache is not None:
-                    cache.store(config, result)
-                results[index] = result
+            self._run_inline(configs, indices, results, report, cache)
             return
 
         pool = self._spawn()
@@ -226,7 +221,7 @@ class ProcessPoolBackend(ExecutionBackend):
         respawns = 0
         try:
             for chunk in self._chunks(configs, indices):
-                pending[pool.submit(run_chunk, chunk.configs, self.retry)] = chunk
+                pending[self._submit(pool, chunk)] = chunk
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 lost: list[_Chunk] = []
@@ -268,9 +263,31 @@ class ProcessPoolBackend(ExecutionBackend):
                             points=len(chunk.configs),
                         )
                     )
-                    pending[pool.submit(run_chunk, chunk.configs, self.retry)] = chunk
+                    pending[self._submit(pool, chunk)] = chunk
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_inline(
+        self,
+        configs: list[SimulationConfig],
+        indices: list[int],
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+    ) -> None:
+        """Single-process degenerate path: no pool spawn, same semantics."""
+        for config, index in zip(configs, indices):
+            result, failure = run_point(config, self.retry, runner=run_simulation)
+            if failure is not None:
+                report.record(failure)
+            if result is not None and cache is not None:
+                cache.store(config, result)
+            results[index] = result
+
+    def _submit(self, pool: ProcessPoolExecutor, chunk: _Chunk) -> Future:
+        """Submit one chunk's work; the seam subclasses override to swap
+        the worker function while inheriting the respawn machinery."""
+        return pool.submit(run_chunk, chunk.configs, self.retry)
 
     def _settle(
         self,
@@ -283,7 +300,7 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> None:
         """Fold one finished future into results/report (or mark it lost)."""
         try:
-            outcomes = future.result()
+            payload = future.result()
         except (KeyboardInterrupt, SystemExit):
             raise
         except BrokenProcessPool:
@@ -296,6 +313,24 @@ class ProcessPoolBackend(ExecutionBackend):
                 chunk, report, outcome="executor", attempts=1, error=repr(exc)
             )
             return
+        self._fold(chunk, payload, results, report, cache)
+
+    def _unpack(self, payload) -> tuple[list, Iterable[PointFailure]]:
+        """Split a worker payload into per-point outcomes plus any
+        chunk-level recovered incidents (none for the scalar worker)."""
+        return payload, ()
+
+    def _fold(
+        self,
+        chunk: _Chunk,
+        payload,
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+    ) -> None:
+        outcomes, incidents = self._unpack(payload)
+        for incident in incidents:
+            report.record(incident)
         if len(outcomes) != len(chunk.configs):
             raise ExperimentError(
                 f"worker returned {len(outcomes)} results for a chunk of "
@@ -336,15 +371,147 @@ class ProcessPoolBackend(ExecutionBackend):
         )
 
 
+def run_config_batch(
+    configs: list[SimulationConfig], retry: RetryPolicy
+) -> tuple[
+    list[tuple[Optional[SimulationResult], Optional[PointFailure]]],
+    list[PointFailure],
+]:
+    """Worker for :class:`BatchedBackend`: one lockstep batch, scalar fallback.
+
+    Returns ``(outcomes, incidents)``: *outcomes* matches
+    :func:`~repro.harness.resilience.run_chunk`'s per-point shape, and
+    *incidents* carries batch-level recovered events. The batch must share
+    a compatibility key (the planner guarantees it). Fallbacks to the
+    scalar per-point path, which owns the PR-5 retry/timeout/chaos
+    machinery:
+
+    * single-member batches (nothing to amortize);
+    * sanitizer runs (``REPRO_SANITIZE``): the sanitizer instruments one
+      engine, which the copy-on-divergence splits would confuse;
+    * a raising :class:`~repro.network.batched.BatchedEngine`: the whole
+      batch is **evicted** — recorded as a recovered ``batch-evicted``
+      incident — and every member retried scalar, so a poisoned batch
+      degrades to the scalar kernel's semantics instead of losing points.
+
+    Top-level (picklable) so pool workers can import it.
+    """
+    incidents: list[PointFailure] = []
+    if len(configs) > 1 and not _sanitize_from_env():
+        try:
+            results = BatchedEngine(list(configs)).run()
+            return [(result, None) for result in results], incidents
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            incidents.append(
+                PointFailure(
+                    fingerprint=configs[0].fingerprint(),
+                    outcome="batch-evicted",
+                    attempts=1,
+                    error=repr(exc),
+                    recovered=True,
+                    points=len(configs),
+                )
+            )
+    outcomes = [
+        run_point(config, retry, runner=run_simulation) for config in configs
+    ]
+    return outcomes, incidents
+
+
+class BatchedBackend(ProcessPoolBackend):
+    """Runs sweeps through the batched lockstep kernel
+    (:mod:`repro.network.batched`), scalar semantics preserved.
+
+    Work units are *batches* planned by
+    :func:`~repro.network.batched.plan_batches` — compatible configs
+    grouped up to ``chunksize`` members (default
+    :data:`~repro.network.batched.DEFAULT_MAX_BATCH`) — instead of
+    positional slices. Everything else is inherited from
+    :class:`ProcessPoolBackend`: per-point cache consultation and
+    checkpointing, ``BrokenProcessPool`` respawns, hole-preserving
+    failure reports. ``processes=1`` (the default) runs batches
+    in-process; more processes fan batches out over the pool. Because
+    batch results are bit-identical to scalar runs and batch planning is
+    deterministic, this backend's outputs equal the scalar backends'
+    point for point.
+    """
+
+    def __init__(
+        self,
+        processes: int = 1,
+        *,
+        chunksize: int | None = None,
+        retry: Optional[RetryPolicy] = None,
+        max_pool_respawns: int = 3,
+    ) -> None:
+        require_numpy()
+        super().__init__(
+            processes,
+            chunksize=chunksize,
+            retry=retry,
+            max_pool_respawns=max_pool_respawns,
+        )
+
+    @property
+    def max_batch(self) -> int:
+        return self.chunksize or DEFAULT_MAX_BATCH
+
+    def _chunks(
+        self, configs: list[SimulationConfig], indices: list[int]
+    ) -> Iterator[_Chunk]:
+        for batch in plan_batches(configs, self.max_batch):
+            yield _Chunk(
+                [configs[i] for i in batch], [indices[i] for i in batch]
+            )
+
+    def _submit(self, pool: ProcessPoolExecutor, chunk: _Chunk) -> Future:
+        return pool.submit(run_config_batch, chunk.configs, self.retry)
+
+    def _unpack(self, payload) -> tuple[list, Iterable[PointFailure]]:
+        outcomes, incidents = payload
+        return outcomes, incidents
+
+    def _run_inline(
+        self,
+        configs: list[SimulationConfig],
+        indices: list[int],
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+    ) -> None:
+        for chunk in self._chunks(configs, indices):
+            payload = run_config_batch(chunk.configs, self.retry)
+            self._fold(chunk, payload, results, report, cache)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedBackend(processes={self.processes}, "
+            f"chunksize={self.chunksize})"
+        )
+
+
 def make_backend(
     processes: int | None = None,
     *,
     chunksize: int | None = None,
     retry: Optional[RetryPolicy] = None,
+    kernel: str = "scalar",
 ) -> ExecutionBackend:
-    """Backend for *processes* workers (``None``/``0``/``1`` = serial)."""
+    """Backend for *processes* workers (``None``/``0``/``1`` = serial).
+
+    ``kernel="batched"`` selects :class:`BatchedBackend` — the lockstep
+    sweep kernel — at any process count (1 means in-process batches).
+    """
     if processes is not None and processes < 0:
         raise ExperimentError("process count cannot be negative")
+    if kernel not in ("scalar", "batched"):
+        raise ExperimentError(
+            f"unknown kernel {kernel!r}: expected 'scalar' or 'batched'"
+        )
+    if kernel == "batched":
+        return BatchedBackend(processes or 1, chunksize=chunksize, retry=retry)
     if not processes or processes == 1:
         return SerialBackend(retry=retry)
     return ProcessPoolBackend(processes, chunksize=chunksize, retry=retry)

@@ -1,0 +1,667 @@
+"""Batched structure-of-arrays sweep kernel: N configs in lockstep.
+
+A threshold sweep (paper Table 2 settings I–VI x offered loads, or a
+``repro pareto`` knob grid) runs many configurations that differ **only in
+their policy knobs**: same topology, same traffic trace (same seed), same
+warmup/measure phases. Between two history-window boundaries such
+configurations are *provably identical* — the policy is only consulted
+when a window closes (every ``H`` cycles), so two configs whose policies
+have issued the same channel commands so far occupy bit-identical
+simulator states. This kernel exploits that:
+
+* **Equivalence classes.** The batch starts as one class: a single scalar
+  :class:`~repro.network.simulator.Simulator` carrying every member. At
+  each history-window boundary the coordinator computes the per-member
+  policy decisions, canonicalizes them to *channel effects* (a dropped
+  request and a HOLD are the same effect), and splits the class only when
+  members' effects genuinely differ — via ``copy.deepcopy`` of the class
+  engine at the boundary, the one cycle where the engines diverge. A
+  sweep whose members converge (e.g. a saturated network where every
+  threshold setting selects the shared congested pair) runs N configs for
+  nearly the price of one.
+
+* **Structure-of-arrays coordinator state.** Per-member bookkeeping that
+  the shared engines cannot carry lives in numpy arrays indexed
+  ``[member, channel]``: the EWMA prediction lanes of the history policy
+  (advanced by one vectorized, allocation-free op per boundary — see
+  :meth:`BatchedEngine._advance_history_lane`), the per-member
+  ``requests_dropped`` counters, and the integer-**femtojoule** per-link
+  energy ledger (:meth:`BatchedEngine.member_energy_femtojoules`;
+  integer addition commutes, so per-member energy sums are exact — see
+  :func:`repro.units.joules_to_femtojoules`).
+
+* **Bit-identity by construction.** The class engines run the *unmodified*
+  scalar kernel; the only seam is a puppet policy
+  (:class:`_PuppetPolicy`) that replays the canonical member's decision
+  through the real :class:`~repro.core.controller.PortDVSController`
+  dispatch path. Counters stay integers, every float op in the vector
+  lane is the same single-rounded IEEE-754 op the scalar
+  :class:`~repro.core.history.EWMAPredictor` performs, and golden tests
+  (``tests/test_batched_kernel.py``) assert strict equality — not
+  closeness — against the scalar kernel for every registered policy.
+
+The scalar kernel remains the always-on oracle: anything this module
+cannot express (mixed compatibility keys, the network sanitizer) falls
+back to it, and :class:`~repro.harness.backends.BatchedBackend` evicts a
+failing batch wholesale and retries each member scalar.
+
+numpy is the only dependency and it is optional at import time: importing
+this module without numpy succeeds, and :func:`require_numpy` raises a
+clear, actionable error before any sweep work starts (never a raw
+``ImportError`` mid-sweep).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+from ..config import SimulationConfig
+from ..core.policy import DVSAction, DVSPolicy, PolicyInputs
+from ..core.registry import PolicyBuildContext, build_policy, knob_values
+from ..core.thresholds import TABLE1_DEFAULT
+from ..errors import ConfigError, SimulationError
+from ..units import joules_to_femtojoules
+from .simulator import SimulationResult, Simulator
+
+try:  # pragma: no cover - exercised via require_numpy tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+#: Oldest numpy release the kernel is tested against (``np.take(out=)``
+#: and the ``out=`` ufunc forms the hot lane relies on are all ancient;
+#: this mostly guards against truly prehistoric installs).
+MIN_NUMPY = (1, 22)
+
+#: Default upper bound on members per lockstep batch. Beyond this the
+#: split bookkeeping outgrows the stepping it amortizes.
+DEFAULT_MAX_BATCH = 32
+
+
+def _version_tuple(text: str) -> tuple[int, int]:
+    parts = []
+    for token in text.split(".")[:2]:
+        digits = ""
+        for char in token:
+            if not char.isdigit():
+                break
+            digits += char
+        parts.append(int(digits) if digits else 0)
+    while len(parts) < 2:
+        parts.append(0)
+    return (parts[0], parts[1])
+
+
+def require_numpy():
+    """Return the numpy module, or raise a clear :class:`ConfigError`.
+
+    Called at :class:`BatchedEngine` and
+    :class:`~repro.harness.backends.BatchedBackend` construction so a
+    missing or antique numpy fails *before* the sweep starts, with the
+    remedy in the message, instead of surfacing as a raw ``ImportError``
+    (or an ``AttributeError`` from an old numpy) mid-sweep.
+    """
+    if _np is None:
+        raise ConfigError(
+            "the batched sweep kernel (repro.network.batched) requires "
+            f"numpy >= {MIN_NUMPY[0]}.{MIN_NUMPY[1]}, which is not "
+            "installed; install it, or rerun with the scalar kernel "
+            "(--kernel scalar, the default)"
+        )
+    version = _version_tuple(getattr(_np, "__version__", "0"))
+    if version < MIN_NUMPY:
+        raise ConfigError(
+            f"the batched sweep kernel requires numpy >= "
+            f"{MIN_NUMPY[0]}.{MIN_NUMPY[1]}, found {_np.__version__}; "
+            "upgrade numpy or rerun with --kernel scalar"
+        )
+    return _np
+
+
+def compatibility_key(config: SimulationConfig) -> str:
+    """Fingerprint of everything one lockstep batch must share.
+
+    Two configs may occupy the same batch exactly when they differ only
+    in policy knobs — thresholds, EWMA weight, static level, generic
+    ``params`` — because those are consulted solely at window boundaries,
+    where the coordinator handles divergence. Everything else (topology,
+    link model, traffic incl. seed and rate, phases, policy *name*,
+    history window, initial level) must match, so the key is the config
+    fingerprint with the knob fields pinned to canonical values.
+    """
+    dvs = dataclasses.replace(
+        config.dvs,
+        thresholds=TABLE1_DEFAULT,
+        ewma_weight=3.0,
+        static_level=0,
+        params={},
+    )
+    return dataclasses.replace(config, dvs=dvs).fingerprint()
+
+
+def plan_batches(
+    configs: list[SimulationConfig], max_batch: int = DEFAULT_MAX_BATCH
+) -> list[list[int]]:
+    """Group config positions into lockstep-compatible batches.
+
+    Returns lists of indices into *configs*: each batch shares one
+    :func:`compatibility_key`, holds at most *max_batch* members, and
+    preserves input order within and across groups (first appearance
+    orders the groups), so planning is deterministic for a given input —
+    a prerequisite for Serial==ProcessPool bit-identity.
+    """
+    if max_batch < 1:
+        raise ConfigError("max_batch must be positive")
+    groups: dict[str, list[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(compatibility_key(config), []).append(index)
+    batches: list[list[int]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), max_batch):
+            batches.append(indices[start : start + max_batch])
+    return batches
+
+
+class _PuppetPolicy(DVSPolicy):
+    """Replays a coordinator-chosen decision through the real controller.
+
+    Installed in place of every class engine's per-port policy objects.
+    ``has_replay`` is always True so the controller drains the replay
+    counter every window; a zero preload makes
+    :meth:`~repro.core.dvs_link.DVSChannel.charge_replay` a no-op, so
+    puppets are transparent for replay-free policies.
+    """
+
+    has_replay = True
+
+    def __init__(self) -> None:
+        self.action = DVSAction.HOLD
+        self.replay = 0
+
+    def preload(self, action: DVSAction, replay: int) -> None:
+        self.action = action
+        self.replay = replay
+
+    def decide(self, inputs: PolicyInputs) -> DVSAction:
+        return self.action
+
+    def consume_replay_flits(self) -> int:
+        flits = self.replay
+        self.replay = 0
+        return flits
+
+
+class _ClassState:
+    """One equivalence class: a scalar engine plus the members riding it."""
+
+    __slots__ = ("engine", "members", "puppets")
+
+    def __init__(
+        self, engine: Simulator, members: list[int], puppets: list[_PuppetPolicy]
+    ):
+        self.engine = engine
+        self.members = members
+        self.puppets = puppets
+
+
+#: DVSAction by its signed code (the ``value`` attribute), for decoding
+#: the int8 decision arrays back into enum members at puppet preload.
+_ACTION_BY_CODE = {action.value: action for action in DVSAction}
+
+# Channel-effect kinds for the canonical signature (what a decision
+# actually does to the shared channel state; dropped requests and
+# accepted no-ops are both NONE — they differ only in the per-member
+# drop counter, which the coordinator carries separately).
+_EFFECT_NONE = 0
+_EFFECT_STEP = 1
+_EFFECT_SLEEP = 2
+_EFFECT_WAKE = 3
+
+
+class BatchedEngine:
+    """Runs N lockstep-compatible configurations as one copy-on-divergence
+    ensemble; see the module docstring for the design.
+
+    The public surface mirrors the scalar facade: construct with the
+    member configs, call :meth:`run` once, receive one
+    :class:`~repro.network.simulator.SimulationResult` per config in
+    input order, each bit-identical to a scalar run of that config.
+    """
+
+    def __init__(
+        self,
+        configs: list[SimulationConfig],
+        *,
+        sanitize: bool = False,
+    ):
+        np = require_numpy()
+        self._np = np
+        configs = list(configs)
+        if not configs:
+            raise ConfigError("batched engine needs at least one config")
+        key = compatibility_key(configs[0])
+        for config in configs[1:]:
+            if compatibility_key(config) != key:
+                raise ConfigError(
+                    "batched engine members must share a compatibility key "
+                    "(same topology, link, traffic, phases and policy name; "
+                    "only policy knobs may differ) — use plan_batches() to "
+                    "group arbitrary sweeps"
+                )
+        self.configs = configs
+        first = configs[0]
+        self.n_members = len(configs)
+        self._history_window = first.dvs.history_window
+        self._warmup = first.warmup_cycles
+        self._measure = first.measure_cycles
+        self._dvs_enabled = first.dvs.enabled
+        self._finished = False
+
+        root = Simulator(first, sanitize=sanitize)
+        self._n_channels = len(root.channels)
+        table = first.link.build_table()
+        self._max_level = table.max_level
+
+        members = self.n_members
+        channels = self._n_channels
+        #: Per-member dropped-request counters (the only controller field
+        #: that reaches SimulationResult; the class engines' own counters
+        #: follow the canonical member and are discarded).
+        self._drops = np.zeros(members, dtype=np.int64)
+        #: Integer-femtojoule per-link energy ledger, snapshotted from the
+        #: class channels at finish (identical for every member of a
+        #: class, exact under integer summation).
+        self._energy_fj = np.zeros((members, channels), dtype=np.int64)
+        #: Diagnostics for the bench / docs honesty tables.
+        self.splits = 0
+        self.boundaries = 0
+
+        self._vector_lane = self._dvs_enabled and first.dvs.policy == "history"
+        self._member_policies: list[list[DVSPolicy]] = []
+        if self._vector_lane:
+            self._init_history_lane(np, table)
+        elif self._dvs_enabled:
+            # Object lane: real per-member, per-channel policy objects
+            # built exactly as the engine builds them (same context, same
+            # seeds), consulted by the coordinator instead of a controller.
+            for config in configs:
+                self._member_policies.append(
+                    [
+                        build_policy(
+                            config.dvs,
+                            PolicyBuildContext(
+                                table=table,
+                                channel_index=channel.spec.channel_id,
+                                window_cycles=self._history_window,
+                            ),
+                        )
+                        for channel in root.channels
+                    ]
+                )
+
+        puppets = self._install_puppets(root)
+        self._classes = [_ClassState(root, list(range(members)), puppets)]
+
+    # -- construction helpers ---------------------------------------------
+
+    def _init_history_lane(self, np, table) -> None:
+        """Allocate the vectorized EWMA/decision lane for Algorithm 1."""
+        members = self.n_members
+        channels = self._n_channels
+        shape = (members, channels)
+        # Prediction registers (EWMAPredictor starts at 0.0).
+        self._lu_pred = np.zeros(shape, dtype=np.float64)
+        self._bu_pred = np.zeros(shape, dtype=np.float64)
+        # Per-member constants, shaped (members, 1) to broadcast across
+        # channels. Weight resolution goes through knob_values, exactly
+        # like the registered history factory.
+        weights = [knob_values(config.dvs)["ewma_weight"] for config in self.configs]
+        self._weight = np.array(weights, dtype=np.float64).reshape(members, 1)
+        self._weight_p1 = self._weight + 1.0
+        thresholds = [config.dvs.thresholds for config in self.configs]
+        column = lambda values: np.array(  # noqa: E731 - local shaping helper
+            values, dtype=np.float64
+        ).reshape(members, 1)
+        self._congested_bu = column([t.congested_bu for t in thresholds])
+        self._t_low_light = column([t.low_uncongested for t in thresholds])
+        self._t_high_light = column([t.high_uncongested for t in thresholds])
+        self._t_low_cong = column([t.low_congested for t in thresholds])
+        self._t_high_cong = column([t.high_congested for t in thresholds])
+        # Scratch buffers for the allocation-free boundary op: full-batch
+        # sized, sliced per class. Names match their role in
+        # _advance_history_lane.
+        self._sc_prior = np.empty(shape, dtype=np.float64)
+        self._sc_lu = np.empty(shape, dtype=np.float64)
+        self._sc_bu = np.empty(shape, dtype=np.float64)
+        self._sc_w = np.empty((members, 1), dtype=np.float64)
+        self._sc_wp1 = np.empty((members, 1), dtype=np.float64)
+        self._sc_col = np.empty((members, 1), dtype=np.float64)
+        self._sc_light = np.empty(shape, dtype=bool)
+        self._sc_heavy = np.empty(shape, dtype=bool)
+        self._sc_m1 = np.empty(shape, dtype=bool)
+        self._sc_m2 = np.empty(shape, dtype=bool)
+        self._sc_down = np.empty(shape, dtype=bool)
+        self._sc_up = np.empty(shape, dtype=bool)
+        self._sc_act = np.empty(shape, dtype=np.int8)
+
+    @staticmethod
+    def _install_puppets(engine: Simulator) -> list[_PuppetPolicy]:
+        puppets = []
+        for controller in engine.controllers:
+            puppet = _PuppetPolicy()
+            controller.policy = puppet
+            puppets.append(puppet)
+        return puppets
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def class_count(self) -> int:
+        """Live equivalence classes (1 == the whole batch is in lockstep)."""
+        return len(self._classes)
+
+    def member_energy_femtojoules(self):
+        """Per-link energy ledger, integer femtojoules, ``[member, channel]``.
+
+        Populated by :meth:`run`; converts back through
+        :func:`repro.units.femtojoules_to_joules`.
+        """
+        return self._energy_fj
+
+    def run(self) -> list[SimulationResult]:
+        """Warm up, measure and summarize every member; results in order."""
+        if self._finished:
+            raise SimulationError("BatchedEngine.run() may only be called once")
+        self._finished = True
+        self._advance_phase(self._warmup)
+        for cls in self._classes:
+            cls.engine.begin_measurement()
+        self._advance_phase(self._warmup + self._measure)
+        return self._finish()
+
+    # -- the boundary loop -------------------------------------------------
+
+    def _advance_phase(self, end: int) -> None:
+        """Advance every class to cycle *end*, intercepting boundaries.
+
+        Classes are mutually independent, so each is driven to *end* in
+        turn; classes born from mid-phase splits join the queue at their
+        creation cycle. A window boundary at exactly *end* belongs to the
+        next phase (it closes inside ``step(end)``), matching the scalar
+        kernel's phasing.
+        """
+        if not self._dvs_enabled:
+            for cls in self._classes:
+                cls.engine.run_until(end)
+            return
+        window = self._history_window
+        queue = list(self._classes)
+        while queue:
+            cls = queue.pop()
+            engine = cls.engine
+            while True:
+                now = engine.now
+                if now == 0:
+                    boundary = window
+                elif now % window == 0:
+                    # The boundary at `now` is still pending: it closes
+                    # inside step(now), which has not run yet.
+                    boundary = now
+                else:
+                    boundary = now + (window - now % window)
+                if boundary >= end:
+                    engine.run_until(end)
+                    break
+                engine.run_until(boundary)
+                queue.extend(self._close_boundary(cls))
+
+    def _close_boundary(self, cls: _ClassState) -> list[_ClassState]:
+        """Process one history-window boundary for one class.
+
+        Equivalent to the scalar ``step(boundary)`` for every member:
+        run the first half of the step (event dispatch + injection), read
+        the exact decision inputs ``close_window`` would compute, decide
+        per member, split the class where effects diverge, preload the
+        puppets with each group's canonical decision, and run the second
+        half (the real controller dispatch plus router stepping).
+        Returns the classes split off, already advanced past the boundary.
+        """
+        np = self._np
+        engine = cls.engine
+        now = engine.now
+        self.boundaries += 1
+        engine.begin_boundary_step()
+
+        controllers = engine.controllers
+        channels = self._n_channels
+        members = cls.members
+        count = len(members)
+
+        # Class-level decision inputs: exactly the expressions
+        # PortDVSController.close_window evaluates (same float ops in the
+        # same order), read without mutating the controller registers —
+        # close_window itself updates them in finish_boundary_step below.
+        lu = [0.0] * channels
+        bu = [0.0] * channels
+        level = [0] * channels
+        steady = [False] * channels
+        asleep = [False] * channels
+        demand = [False] * channels
+        sleep_ok = [False] * channels
+        for j, controller in enumerate(controllers):
+            channel = controller.channel
+            busy = channel.busy_cycles_total - controller._last_busy_total
+            lu[j] = min(1.0, busy / controller.window_cycles)
+            occupancy = (
+                controller.occupancy_source.cumulative_integral(now)
+                - controller._last_occupancy_integral
+            )
+            bu[j] = min(
+                1.0,
+                occupancy / (controller.window_cycles * controller.buffer_capacity),
+            )
+            level[j] = channel.level
+            steady[j] = channel.is_steady
+            asleep[j] = channel.sleeping
+            demand[j] = channel.sleep_demand
+            sleep_ok[j] = channel.sleep_permitted(now)
+
+        # Per-member decisions: signed DVSAction codes [member, channel].
+        replay = np.zeros((count, channels), dtype=np.int64)
+        if self._vector_lane:
+            idx = np.asarray(members, dtype=np.intp)
+            lu_row = np.asarray(lu, dtype=np.float64)
+            bu_row = np.asarray(bu, dtype=np.float64)
+            act = self._advance_history_lane(idx, lu_row, bu_row)
+        else:
+            act = np.zeros((count, channels), dtype=np.int8)
+            for i, member in enumerate(members):
+                policies = self._member_policies[member]
+                for j in range(channels):
+                    policy = policies[j]
+                    action = policy.decide(
+                        PolicyInputs(
+                            link_utilization=lu[j],
+                            buffer_utilization=bu[j],
+                            level=level[j],
+                            max_level=self._max_level,
+                            cycle=now,
+                            asleep=asleep[j],
+                            sleep_demand=demand[j],
+                        )
+                    )
+                    act[i, j] = action.value
+                    if policy.has_replay:
+                        replay[i, j] = policy.consume_replay_flits()
+
+        # Canonical channel effects + per-member drop accounting. The
+        # predicates mirror DVSChannel.request_level / request_sleep /
+        # request_wake acceptance exactly (see those methods).
+        level_arr = np.asarray(level, dtype=np.int64)
+        steady_arr = np.asarray(steady, dtype=bool)
+        sleep_ok_arr = np.asarray(sleep_ok, dtype=bool)
+        asleep_arr = np.asarray(asleep, dtype=bool)
+        step_mask = np.abs(act) == 1
+        target = np.clip(level_arr + act, 0, self._max_level)
+        effect_step = step_mask & steady_arr & (target != level_arr)
+        effect_sleep = (act == DVSAction.SLEEP.value) & sleep_ok_arr
+        effect_wake = (act == DVSAction.WAKE.value) & asleep_arr
+        dropped = (
+            (step_mask & ~steady_arr)
+            | ((act == DVSAction.SLEEP.value) & ~sleep_ok_arr)
+            | ((act == DVSAction.WAKE.value) & ~asleep_arr)
+        )
+        member_rows = np.asarray(members, dtype=np.intp)
+        np.add.at(self._drops, member_rows, dropped.sum(axis=1, dtype=np.int64))
+
+        kind = (
+            effect_step * _EFFECT_STEP
+            + effect_sleep * _EFFECT_SLEEP
+            + effect_wake * _EFFECT_WAKE
+        ).astype(np.int64)
+        signature = (
+            (kind << 48) | (np.where(effect_step, target, 0) << 32) | replay
+        )
+
+        # Group members by identical effect rows (insertion order keeps
+        # the grouping deterministic across backends).
+        groups: dict[bytes, list[int]] = {}
+        for i in range(count):
+            groups.setdefault(signature[i].tobytes(), []).append(i)
+        ordered = list(groups.values())
+
+        new_classes: list[_ClassState] = []
+        for rows in ordered[1:]:
+            # Divergent group: clone the pre-finish engine state. The
+            # deepcopy maps every internal reference (bound methods,
+            # shared counters, pooled events) onto the clone; only the
+            # id()-keyed transition-event index must be rebuilt, and the
+            # clone's puppets re-collected from its controllers.
+            clone = copy.deepcopy(engine)
+            clone._channel_ids = {
+                id(channel.dvs): channel.spec.channel_id
+                for channel in clone.channels
+            }
+            puppets = [controller.policy for controller in clone.controllers]
+            self._preload(puppets, act[rows[0]], replay[rows[0]])
+            clone.finish_boundary_step()
+            split = _ClassState(clone, [members[i] for i in rows], puppets)
+            new_classes.append(split)
+            self.splits += 1
+        if new_classes:
+            cls.members = [members[i] for i in ordered[0]]
+            self._classes.extend(new_classes)
+
+        self._preload(cls.puppets, act[ordered[0][0]], replay[ordered[0][0]])
+        engine.finish_boundary_step()
+        return new_classes
+
+    @staticmethod
+    def _preload(puppets: list[_PuppetPolicy], act_row, replay_row) -> None:
+        for j, puppet in enumerate(puppets):
+            puppet.preload(_ACTION_BY_CODE[int(act_row[j])], int(replay_row[j]))
+
+    def _advance_history_lane(self, idx, lu_row, bu_row):  # repro-hot
+        """Vectorized Algorithm 1 for one class's members at one boundary.
+
+        One in-place numpy op per pipeline stage, every ufunc writing into
+        a preallocated scratch buffer (lint rule R6 enforces the
+        no-temporaries contract). Each element performs exactly the
+        scalar sequence of :class:`~repro.core.history.EWMAPredictor`
+        and :meth:`HistoryDVSPolicy.decide` — single-rounded IEEE-754
+        multiply/add/divide and the same comparisons — so the lane is
+        bit-identical to the per-port objects it replaces.
+
+        Returns an int8 ``[len(idx), channel]`` view of signed
+        :class:`~repro.core.policy.DVSAction` codes.
+        """
+        np = self._np
+        count = idx.shape[0]
+        prior = self._sc_prior[:count]
+        lu = self._sc_lu[:count]
+        bu = self._sc_bu[:count]
+        weight = self._sc_w[:count]
+        weight_p1 = self._sc_wp1[:count]
+        column = self._sc_col[:count]
+        light = self._sc_light[:count]
+        heavy = self._sc_heavy[:count]
+        mask_a = self._sc_m1[:count]
+        mask_b = self._sc_m2[:count]
+        down = self._sc_down[:count]
+        up = self._sc_up[:count]
+        act = self._sc_act[:count]
+
+        np.take(self._weight, idx, axis=0, out=weight)
+        np.take(self._weight_p1, idx, axis=0, out=weight_p1)
+
+        # LU_pred = (W * LU + LU_pred) / (W + 1)   (paper Eq. (5))
+        np.take(self._lu_pred, idx, axis=0, out=prior)
+        np.multiply(weight, lu_row, out=lu)
+        np.add(lu, prior, out=lu)
+        np.divide(lu, weight_p1, out=lu)
+        self._lu_pred[idx] = lu
+
+        # BU_pred, same recurrence.
+        np.take(self._bu_pred, idx, axis=0, out=prior)
+        np.multiply(weight, bu_row, out=bu)
+        np.add(bu, prior, out=bu)
+        np.divide(bu, weight_p1, out=bu)
+        self._bu_pred[idx] = bu
+
+        # Threshold select (BU litmus) + compare, regime by regime so the
+        # selected thresholds are the member's exact floats, never a
+        # blended recomputation.
+        np.take(self._congested_bu, idx, axis=0, out=column)
+        np.less(bu, column, out=light)
+        np.logical_not(light, out=heavy)
+
+        np.take(self._t_low_light, idx, axis=0, out=column)
+        np.less(lu, column, out=mask_a)
+        np.logical_and(light, mask_a, out=mask_a)
+        np.take(self._t_low_cong, idx, axis=0, out=column)
+        np.less(lu, column, out=mask_b)
+        np.logical_and(heavy, mask_b, out=mask_b)
+        np.logical_or(mask_a, mask_b, out=down)
+
+        np.take(self._t_high_light, idx, axis=0, out=column)
+        np.greater(lu, column, out=mask_a)
+        np.logical_and(light, mask_a, out=mask_a)
+        np.take(self._t_high_cong, idx, axis=0, out=column)
+        np.greater(lu, column, out=mask_b)
+        np.logical_and(heavy, mask_b, out=mask_b)
+        np.logical_or(mask_a, mask_b, out=up)
+
+        act.fill(DVSAction.HOLD.value)
+        act[down] = DVSAction.STEP_DOWN.value
+        act[up] = DVSAction.STEP_UP.value
+        return act
+
+    # -- summarization -----------------------------------------------------
+
+    def _finish(self) -> list[SimulationResult]:
+        np = self._np
+        results: list[SimulationResult | None] = [None] * self.n_members
+        for cls in self._classes:
+            engine = cls.engine
+            class_result = engine.finish()
+            now = engine.now
+            ledger = np.empty(self._n_channels, dtype=np.int64)
+            for j, channel in enumerate(engine.channels):
+                channel.dvs.finalize(now)
+                ledger[j] = joules_to_femtojoules(channel.dvs.total_energy_j)
+            for member in cls.members:
+                self._energy_fj[member, :] = ledger
+                results[member] = dataclasses.replace(
+                    class_result,
+                    config=self.configs[member],
+                    requests_dropped=int(self._drops[member]),
+                )
+        return results  # type: ignore[return-value]
+
+
+def run_batch(
+    configs: list[SimulationConfig], *, sanitize: bool = False
+) -> list[SimulationResult]:
+    """Convenience: one-shot batched run of *configs* (shared key required)."""
+    return BatchedEngine(configs, sanitize=sanitize).run()

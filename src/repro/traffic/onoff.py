@@ -40,6 +40,55 @@ from .pareto import (
 )
 
 
+class _RenewalPacketStream:
+    """Unbounded stream of one renewal-mode source's packet times.
+
+    Each source starts mid-OFF at a random phase so the bank does not
+    fire in lockstep at task start. This used to be a generator function,
+    but live generators cannot be deepcopied and the batched sweep
+    kernel's copy-on-divergence splits (:mod:`repro.network.batched`)
+    deepcopy the whole engine, traffic state included — so the stream
+    state lives in plain attributes instead. The RNG draw order is
+    identical to the old generator's, including performing the initial
+    phase draw lazily at the first ``__next__`` (a generator body does
+    not run until first resumed), which the golden determinism tests pin.
+    """
+
+    __slots__ = ("owner", "t", "burst_end", "started")
+
+    def __init__(self, owner: "OnOffSourceSet"):
+        self.owner = owner
+        self.t = 0.0
+        self.burst_end = 0.0
+        self.started = False
+
+    def __iter__(self) -> "_RenewalPacketStream":
+        return self
+
+    def __next__(self) -> float:
+        owner = self.owner
+        rng = owner.rng
+        if not self.started:
+            self.started = True
+            phase = rng.random()
+            self.t = owner.start + phase * pareto_sample(
+                rng, owner.off_shape, owner.off_location
+            )
+            self.burst_end = self.t + pareto_sample(
+                rng, owner.on_shape, owner.on_location
+            )
+        while self.t >= self.burst_end:
+            self.t = self.burst_end + pareto_sample(
+                rng, owner.off_shape, owner.off_location
+            )
+            self.burst_end = self.t + pareto_sample(
+                rng, owner.on_shape, owner.on_location
+            )
+        time = self.t
+        self.t += owner.peak_interval
+        return time
+
+
 class OnOffSourceSet:
     """A bank of multiplexed ON/OFF sources for one traffic flow.
 
@@ -134,7 +183,7 @@ class OnOffSourceSet:
         self._heap: list[tuple[float, int, Iterator[float]]] = []
         for index in range(sources):
             if self.mode == "renewal":
-                gen = self._packet_times()
+                gen = _RenewalPacketStream(self)
             else:
                 gen = iter(self._poisson_burst_times())
             first = self._next_within_lifetime(gen)
@@ -202,21 +251,3 @@ class OnOffSourceSet:
                 t += self.peak_interval
         times.sort()
         return times
-
-    def _packet_times(self) -> Iterator[float]:
-        """Unbounded stream of this source's packet times.
-
-        Each source starts mid-OFF at a random phase so the bank does not
-        fire in lockstep at task start.
-        """
-        rng = self.rng
-        t = self.start + rng.random() * pareto_sample(
-            rng, self.off_shape, self.off_location
-        )
-        while True:
-            on = pareto_sample(rng, self.on_shape, self.on_location)
-            burst_end = t + on
-            while t < burst_end:
-                yield t
-                t += self.peak_interval
-            t = burst_end + pareto_sample(rng, self.off_shape, self.off_location)

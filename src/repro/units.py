@@ -28,6 +28,9 @@ MS = 1.0e-3
 MW = 1.0e-3
 #: Joules in one microjoule.
 UJ = 1.0e-6
+#: Joules in one femtojoule — the integer energy unit of the batched
+#: sweep kernel's per-link ledger (see :mod:`repro.network.batched`).
+FJ = 1.0e-15
 
 
 def mhz(value: float) -> float:
@@ -73,6 +76,29 @@ def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
     if clock_hz <= 0.0:
         raise ConfigError(f"clock frequency must be positive, got {clock_hz!r}")
     return cycles / clock_hz
+
+
+def joules_to_femtojoules(energy_j: float) -> int:
+    """Convert *energy_j* joules to integer femtojoules (nearest).
+
+    The batched sweep kernel keeps per-link energy in integer femtojoule
+    ledgers so per-config sums are exact (integer addition commutes;
+    float summation does not). One femtojoule resolves the smallest
+    energies in the model by a wide margin — a single link cycle at the
+    lowest power point is ~23,600 fJ — and Python integers cannot
+    overflow. The conversion is faithful for any magnitude this simulator
+    produces: below 2**53 fJ (~9 J) every integer femtojoule count is
+    representable, so the conversion is exact to the half-ulp of the
+    input float, and the kernel's per-link ``int64`` ledger has headroom
+    to ~9223 J per link — three orders of magnitude above a full paper
+    run's total.
+    """
+    return round(energy_j / FJ)
+
+
+def femtojoules_to_joules(energy_fj: int) -> float:
+    """Convert integer femtojoules back to joules (floating point)."""
+    return energy_fj * FJ
 
 
 def bandwidth_bits_per_s(link_hz: float, lanes: int, mux_ratio: int) -> float:

@@ -1,0 +1,168 @@
+"""Tests for the batched execution backend (BatchedBackend) and its
+scalar-fallback worker, run_config_batch.
+
+The batched kernel is an optimization, never a semantics change: these
+tests pin that the backend's outputs equal the scalar backends' point for
+point, that the per-point cache still short-circuits simulation, and that
+a failing batch is evicted and retried scalar (PR-5 resilience).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.thresholds import TABLE2_SETTINGS
+from repro.errors import ExperimentError
+from repro.harness import backends
+from repro.harness.backends import (
+    BatchedBackend,
+    SerialBackend,
+    make_backend,
+    run_config_batch,
+)
+from repro.harness.resilience import RetryPolicy
+from repro.harness.sweep import rate_sweep
+
+from .conftest import small_config
+
+FAIL_FAST = RetryPolicy(max_attempts=1, backoff_base_s=0.0)
+
+
+class _BoomEngine:
+    """Stand-in for BatchedEngine that always fails to construct."""
+
+    def __init__(self, *args, **kwargs):
+        raise RuntimeError("kaboom")
+
+
+def knob_sweep(seeds=(1,)):
+    """A small knob sweep: one compatibility group per seed."""
+    configs = []
+    for seed in seeds:
+        base = small_config(
+            policy="history", rate=0.3, warmup=200, measure=600, seed=seed
+        )
+        configs.extend(
+            dataclasses.replace(
+                base,
+                dvs=dataclasses.replace(
+                    base.dvs, thresholds=thresholds, ewma_weight=weight
+                ),
+            )
+            for weight in (1.0, 3.0)
+            for thresholds in (TABLE2_SETTINGS["I"], TABLE2_SETTINGS["IV"])
+        )
+    return configs
+
+
+class TestMakeBackendKernel:
+    def test_batched_kernel_selects_batched_backend(self):
+        backend = make_backend(None, kernel="batched")
+        assert isinstance(backend, BatchedBackend)
+        assert backend.processes == 1
+
+    def test_batched_kernel_with_processes(self):
+        backend = make_backend(3, chunksize=8, kernel="batched")
+        assert isinstance(backend, BatchedBackend)
+        assert backend.processes == 3
+        assert backend.max_batch == 8
+
+    def test_scalar_kernel_is_the_default(self):
+        assert isinstance(make_backend(1), SerialBackend)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown kernel"):
+            make_backend(1, kernel="vectorized")
+
+    def test_repr_names_the_backend(self):
+        assert "BatchedBackend" in repr(BatchedBackend(2, chunksize=4))
+
+
+class TestBatchedEquivalence:
+    def test_serial_and_batched_backends_agree(self):
+        """Acceptance: batched results equal scalar results, point for
+        point, through the in-process and pooled paths alike."""
+        configs = knob_sweep(seeds=(1, 5))
+        scalar_results, scalar_report = SerialBackend(retry=FAIL_FAST).run(
+            configs
+        )
+        inline_results, inline_report = BatchedBackend(retry=FAIL_FAST).run(
+            configs
+        )
+        pooled_results, pooled_report = BatchedBackend(
+            2, chunksize=4, retry=FAIL_FAST
+        ).run(configs)
+        assert scalar_report.ok and inline_report.ok and pooled_report.ok
+        assert inline_results == scalar_results
+        assert pooled_results == scalar_results
+
+    def test_rate_sweep_through_batched_backend(self):
+        """Rate points never share a compatibility key (different traffic),
+        so a batched rate sweep degrades to singleton batches — and must
+        still equal the serial sweep exactly."""
+        config = small_config(policy="history", rate=0.2, warmup=200, measure=600)
+        rates = (0.2, 0.4)
+        serial = rate_sweep(config, rates, backend=SerialBackend())
+        batched = rate_sweep(config, rates, backend=BatchedBackend())
+        assert batched == serial
+
+
+class TestBatchedCache:
+    def test_cache_hits_skip_simulation_entirely(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        configs = knob_sweep()
+        first, report = BatchedBackend(retry=FAIL_FAST).run(configs)
+        assert report.ok and None not in first
+        # Second run must be served from the per-point cache: poison both
+        # the batched worker and the scalar fallback so any simulation
+        # attempt fails loudly.
+        monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
+        monkeypatch.setattr(
+            backends,
+            "run_point",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("cache miss")),
+        )
+        second, report = BatchedBackend(retry=FAIL_FAST).run(configs)
+        assert report.ok
+        assert second == first
+
+
+class TestBatchEviction:
+    def test_failing_batch_is_evicted_and_retried_scalar(self, monkeypatch):
+        configs = knob_sweep()
+        scalar_results, _ = SerialBackend(retry=FAIL_FAST).run(configs)
+        monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
+        results, report = BatchedBackend(retry=FAIL_FAST).run(configs)
+        assert results == scalar_results
+        assert report.ok  # eviction recovered: holes would break ok
+        evictions = [
+            incident
+            for incident in report.incidents
+            if incident.outcome == "batch-evicted"
+        ]
+        assert len(evictions) == 1
+        assert evictions[0].recovered
+        assert evictions[0].points == len(configs)
+        assert "kaboom" in evictions[0].error
+
+    def test_single_member_batch_never_builds_the_engine(self, monkeypatch):
+        monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
+        outcomes, incidents = run_config_batch(
+            [small_config(rate=0.2, warmup=100, measure=300)], FAIL_FAST
+        )
+        assert incidents == []
+        result, failure = outcomes[0]
+        assert failure is None and result is not None
+
+    def test_sanitize_env_forces_the_scalar_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
+        configs = knob_sweep()[:2]
+        outcomes, incidents = run_config_batch(configs, FAIL_FAST)
+        # No eviction incident: the batched engine was never constructed,
+        # the sanitizer ran on the scalar per-point path.
+        assert incidents == []
+        assert all(failure is None for _, failure in outcomes)
+        assert all(result is not None for result, _ in outcomes)

@@ -34,7 +34,10 @@ class TestFixtureViolations:
     def test_fixture_trips_every_rule_exactly_once(self):
         violations, errors = lint_paths([FIXTURES], include_fixtures=True)
         assert errors == []
-        assert sorted(v.rule for v in violations) == sorted(RULES)
+        # R6 appears twice: once for the container-allocation flavor
+        # (contracts.py) and once for the numpy-temporary flavor
+        # (repro/network/batched.py).
+        assert sorted(v.rule for v in violations) == sorted(list(RULES) + ["R6"])
 
     def test_fixtures_excluded_by_default(self):
         violations, errors = lint_paths([FIXTURES])
@@ -258,6 +261,49 @@ class TestRuleR6:
                     alpha(key, value, now)
             """
         assert _lint_source(source, "src/repro/network/x.py") == []
+
+    def test_numpy_allocator_flagged(self):
+        source = """
+            import numpy as np
+
+            def lane(self, raw):  # repro-hot
+                mask = np.zeros(raw.shape)
+                return mask
+            """
+        violations = _lint_source(source, "src/repro/network/batched.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "np.zeros" in violations[0].message
+
+    def test_numpy_ufunc_without_out_flagged(self):
+        source = """
+            import numpy as np
+
+            def lane(self, raw):  # repro-hot
+                return np.multiply(self.weight, raw)
+            """
+        violations = _lint_source(source, "src/repro/network/batched.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "without out=" in violations[0].message
+
+    def test_numpy_ufunc_with_out_clean(self):
+        source = """
+            import numpy as np
+
+            def lane(self, raw):  # repro-hot
+                np.multiply(self.weight, raw, out=self.scratch)
+                np.take(self.pred, self.idx, axis=0, out=self.rows)
+                return self.scratch
+            """
+        assert _lint_source(source, "src/repro/network/batched.py") == []
+
+    def test_numpy_in_unmarked_function_ignored(self):
+        source = """
+            import numpy as np
+
+            def setup(self, shape):
+                return np.zeros(shape)
+            """
+        assert _lint_source(source, "src/repro/network/batched.py") == []
 
 
 class TestRuleR7:

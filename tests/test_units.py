@@ -60,6 +60,90 @@ class TestCyclesToSeconds:
             units.cycles_to_seconds(10, -1.0)
 
 
+class TestFemtojoules:
+    """The integer energy unit of the batched sweep kernel's ledger."""
+
+    def test_one_joule(self):
+        assert units.joules_to_femtojoules(1.0) == 10**15
+
+    def test_zero(self):
+        assert units.joules_to_femtojoules(0.0) == 0
+        assert units.femtojoules_to_joules(0) == 0.0
+
+    def test_result_is_a_python_int(self):
+        assert isinstance(units.joules_to_femtojoules(2.5), int)
+
+    def test_link_cycle_scale(self):
+        # One cycle at the paper's lowest-power point: 23.6 mW for 1 ns.
+        assert units.joules_to_femtojoules(0.0236 * 1.0e-9) == 23_600
+
+    def test_rounds_to_nearest(self):
+        assert units.joules_to_femtojoules(1.4e-15) == 1
+        assert units.joules_to_femtojoules(1.6e-15) == 2
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_integer_round_trip_is_exact(self, count):
+        """fJ -> J -> fJ is lossless across the per-window energy scale."""
+        back = units.joules_to_femtojoules(units.femtojoules_to_joules(count))
+        assert back == count
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_joules_round_trip_within_half_ulp(self, energy_j):
+        """J -> fJ -> J round-trips to float precision over a full paper
+        run's energy range (tens of joules)."""
+        back = units.femtojoules_to_joules(units.joules_to_femtojoules(energy_j))
+        assert back == pytest.approx(energy_j, rel=1e-12, abs=0.5e-15)
+
+    def test_paper_run_energies_fit_the_int64_ledger(self):
+        """The batched kernel stores fJ counts in int64: headroom to
+        ~9223 J per link, three orders of magnitude above a real run."""
+        assert units.joules_to_femtojoules(100.0) < 2**63 - 1
+        assert units.joules_to_femtojoules(9_000.0) < 2**63 - 1
+
+    def test_python_ints_do_not_overflow_beyond_the_ledger(self):
+        huge = units.joules_to_femtojoules(1.0e6)
+        assert isinstance(huge, int)
+        assert huge == pytest.approx(10**21, rel=1e-12)
+        assert units.femtojoules_to_joules(huge) == pytest.approx(1.0e6)
+
+
+class TestBatchedEnergyLedger:
+    def test_batched_ledger_equals_scalar_channel_energies(self):
+        """Property: each member row of the batched kernel's integer
+        ledger equals the scalar kernel's per-channel energies, converted
+        channel by channel — so per-member sums are exact, not merely
+        close."""
+        import dataclasses
+
+        from repro.network.batched import BatchedEngine
+        from repro.network.simulator import Simulator
+
+        from .conftest import small_config
+
+        base = small_config(
+            policy="history", rate=0.3, warmup=200, measure=600
+        )
+        configs = [
+            dataclasses.replace(
+                base, dvs=dataclasses.replace(base.dvs, ewma_weight=weight)
+            )
+            for weight in (1.0, 3.0, 7.0)
+        ]
+        engine = BatchedEngine(configs)
+        engine.run()
+        ledger = engine.member_energy_femtojoules()
+        for member, config in enumerate(configs):
+            scalar = Simulator(config)
+            scalar.run()
+            expected = []
+            for channel in scalar.channels:
+                channel.dvs.finalize(scalar.now)
+                expected.append(
+                    units.joules_to_femtojoules(channel.dvs.total_energy_j)
+                )
+            assert list(ledger[member]) == expected
+
+
 class TestBandwidth:
     def test_paper_channel_max(self):
         # 8 serial links at 1 GHz with 4:1 mux = 32 Gb/s.
