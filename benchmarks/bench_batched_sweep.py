@@ -204,7 +204,7 @@ def golden_smoke(tiny: bool) -> int:
     batched = engine.run()
     mismatches = [
         config
-        for config, result in zip(configs, batched)
+        for config, result in zip(configs, batched, strict=False)
         if Simulator(config).run() != result
     ]
     if mismatches:

@@ -27,7 +27,7 @@ def test_fig16a_long_tasks_slow_freq(benchmark):
     emit("fig16a_voltage_transition", figure)
     sweeps = figure.extras["sweeps"]
     # All DVS variants sit above the non-DVS latency.
-    for name, points in sweeps.items():
+    for points in sweeps.values():
         if name == "nodvs":
             continue
         assert points[0].mean_latency > sweeps["nodvs"][0].mean_latency

@@ -57,7 +57,7 @@ def main() -> None:
 
     print(f"{'offered':>8} {'accepted':>9} {'norm power':>11}   throughput / power")
     print("-" * 76)
-    for rate, result in results:
+    for _rate, result in results:
         print(
             f"{result.offered_rate:>8.3f} {result.accepted_rate:>9.3f} "
             f"{result.power.normalized:>11.3f}   "

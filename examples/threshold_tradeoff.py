@@ -9,7 +9,7 @@ along a Pareto frontier.
 Run:  python examples/threshold_tradeoff.py
 """
 
-from repro import DVSControlConfig, TABLE2_SETTINGS
+from repro import TABLE2_SETTINGS, DVSControlConfig
 from repro.harness.runner import run_simulation
 from repro.harness.scales import SMOKE_SCALE
 

@@ -66,7 +66,9 @@ from .errors import (
 )
 # network must initialize before instrument: the observer implementations
 # import metrics, which reaches back into network.flowcontrol.
-from .network import SimulationEngine, Simulator, SimulationResult, Topology
+from .network import SimulationEngine, SimulationResult, Simulator, Topology
+
+# isort: split
 from .instrument import InstrumentBus, Observer, TraceRecorder, TransitionEvent
 from .power import PowerAccountant, PowerReport, RouterPowerProfile
 

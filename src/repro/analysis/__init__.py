@@ -3,9 +3,17 @@
 Two independent layers keep the simulator's correctness contracts from
 silently rotting as the codebase grows (see ``docs/static_analysis.md``):
 
-* :mod:`repro.analysis.lint` — **repro-lint**, an AST-based lint pass with
-  repo-specific rules (determinism of simulation code, fast-forward
-  safety of observers, totality of the sweep-cache key). Run it as
+* :mod:`repro.analysis.lint` — **repro-lint**, a multi-pass static
+  analysis framework with repo-specific rules R1-R11. Per-file AST rules
+  (determinism of simulation code, fast-forward safety of observers,
+  totality of the sweep-cache key) run alongside interprocedural passes
+  built on the shared :mod:`~repro.analysis.model` project model:
+  determinism taint (:mod:`~repro.analysis.taint`), unit/dimension
+  checking (:mod:`~repro.analysis.dimensions`), and worker isolation
+  (:mod:`~repro.analysis.isolation`). Known findings live in a committed
+  baseline (:mod:`~repro.analysis.baseline`); repeat runs are served
+  from an incremental cache (:mod:`~repro.analysis.cache`); CI consumes
+  SARIF (:mod:`~repro.analysis.sarif`). Run it as
   ``python -m repro.analysis.lint src tests``.
 * :mod:`repro.analysis.sanitizer` — the **network sanitizer**, an opt-in
   family of instrumentation-bus observers that assert conservation
@@ -19,6 +27,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .lint import Linter, Violation, lint_paths
+    from .model import ModuleInfo, ProjectModel
     from .sanitizer import (
         ConservationSanitizer,
         DVSTransitionSanitizer,
@@ -36,6 +45,8 @@ _EXPORTS = {
     "Linter": "lint",
     "Violation": "lint",
     "lint_paths": "lint",
+    "ModuleInfo": "model",
+    "ProjectModel": "model",
     "ConservationSanitizer": "sanitizer",
     "DVSTransitionSanitizer": "sanitizer",
     "NetworkSanitizer": "sanitizer",
@@ -46,7 +57,7 @@ _EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -63,7 +74,9 @@ __all__ = [
     "ConservationSanitizer",
     "DVSTransitionSanitizer",
     "Linter",
+    "ModuleInfo",
     "NetworkSanitizer",
+    "ProjectModel",
     "SanitizerObserver",
     "SanitizerViolation",
     "TrafficContractSanitizer",

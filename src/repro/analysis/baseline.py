@@ -1,0 +1,167 @@
+"""Committed finding baseline for the static-analysis framework.
+
+Interprocedural rules arrive after the code they judge. Rather than
+pragma-spraying every pre-existing finding (which silences the *line*
+forever) or loosening the rules (which silences the *class* of bug), the
+framework tracks known findings in a committed JSON file. Each entry
+carries a justification that is reviewed like code; the lint exits 0
+when every finding matches the baseline and 1 the moment a *new* one
+appears. ``--update-baseline`` rewrites the file from the current
+findings, preserving justifications for entries that survive.
+
+Matching is content-anchored, not line-anchored: an entry matches on
+``(path, rule, stripped source line)`` so pure line-shifts (an import
+added above) do not invalidate the baseline, while editing the flagged
+statement itself — which deserves a fresh look — does. Entries that no
+longer match anything are reported as stale so the file cannot silently
+rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .model import Violation
+
+#: Default committed baseline path, relative to the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+#: Justification placeholder written for new entries by --update-baseline.
+TODO_JUSTIFICATION = "TODO: justify this finding or fix it"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def _entry_key(entry: dict[str, object]) -> tuple[str, str, str]:
+    return (
+        str(entry.get("path", "")),
+        str(entry.get("rule", "")),
+        str(entry.get("context", "")),
+    )
+
+
+def load(path: str | Path) -> list[dict[str, object]]:
+    """Load baseline entries from *path* (raises BaselineError)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"{path}: unreadable ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("entries"), list
+    ):
+        raise BaselineError(f"{path}: expected an object with an 'entries' list")
+    entries: list[dict[str, object]] = []
+    for raw in payload["entries"]:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: entries must be objects")
+        entries.append(raw)
+    return entries
+
+
+def save(
+    path: str | Path,
+    violations: Sequence[Violation],
+    get_line: Callable[[str, int], str],
+    previous: Sequence[dict[str, object]] = (),
+) -> int:
+    """Write a baseline covering *violations*; returns the entry count.
+
+    Justifications from *previous* entries are carried over for findings
+    that still match; new findings get :data:`TODO_JUSTIFICATION`.
+    """
+    justifications: dict[tuple[str, str, str], list[str]] = {}
+    for entry in previous:
+        justifications.setdefault(_entry_key(entry), []).append(
+            str(entry.get("justification", TODO_JUSTIFICATION))
+        )
+    entries = []
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+    ):
+        context = get_line(violation.path, violation.line).strip()
+        key = (violation.path, violation.rule, context)
+        stack = justifications.get(key)
+        justification = stack.pop(0) if stack else TODO_JUSTIFICATION
+        entries.append(
+            {
+                "path": violation.path,
+                "rule": violation.rule,
+                "context": context,
+                "message": violation.message,
+                "justification": justification,
+            }
+        )
+    payload = {
+        "comment": (
+            "Known findings, reviewed like code. Matched on (path, rule, "
+            "stripped source line); regenerate with --update-baseline. See "
+            "docs/static_analysis.md."
+        ),
+        "entries": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply(
+    violations: Sequence[Violation],
+    entries: Sequence[dict[str, object]],
+    get_line: Callable[[str, int], str],
+) -> tuple[list[Violation], list[Violation], list[str]]:
+    """Split *violations* against the baseline.
+
+    Returns ``(new, matched, stale)`` where *stale* describes baseline
+    entries that matched nothing. Duplicate keys are count-aware: two
+    identical entries absorb at most two identical findings.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = _entry_key(entry)
+        budget[key] = budget.get(key, 0) + 1
+
+    def find_key(
+        path: str, rule: str, context: str
+    ) -> tuple[str, str, str] | None:
+        key = (path, rule, context)
+        if budget.get(key, 0) > 0:
+            return key
+        # Path-suffix tolerance: the committed baseline stores repo-relative
+        # paths; a caller linting absolute paths must still match.
+        for candidate, remaining in budget.items():
+            entry_path, entry_rule, entry_context = candidate
+            if (
+                remaining > 0
+                and entry_rule == rule
+                and entry_context == context
+                and (
+                    path.endswith("/" + entry_path)
+                    or entry_path.endswith("/" + path)
+                )
+            ):
+                return candidate
+        return None
+
+    new: list[Violation] = []
+    matched: list[Violation] = []
+    for violation in violations:
+        context = get_line(violation.path, violation.line).strip()
+        key = find_key(violation.path, violation.rule, context)
+        if key is not None:
+            budget[key] -= 1
+            matched.append(violation)
+        else:
+            new.append(violation)
+    stale = [
+        f"stale baseline entry: {path}: {rule} ({context!r})"
+        for (path, rule, context), remaining in sorted(budget.items())
+        for _ in range(remaining)
+    ]
+    return new, matched, stale

@@ -1,0 +1,178 @@
+"""Incremental result cache for the static-analysis framework.
+
+The cache stores, per linted file, the SHA-256 of its bytes and the
+per-file rule findings (R1–R8) computed from it, plus one whole-project
+digest covering every file in the run. Two levels of reuse fall out:
+
+* **Project short-circuit** — when the project digest matches, the
+  previous run's complete results (including the interprocedural
+  R9–R11 findings) are returned without parsing anything. This is the
+  no-change pre-commit case: near-instant.
+* **Per-file reuse** — when some files changed, every file is still
+  *parsed* (the interprocedural passes need the whole project model and
+  re-run unconditionally — their findings in one file can change because
+  a different file changed), but per-file rule evaluation is skipped for
+  files whose SHA matches.
+
+The cache file is plain JSON, safe to delete at any time, and versioned:
+a version bump (any change to rule semantics) invalidates it wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .model import Violation
+
+#: Bump when rule semantics or the cache layout change.
+CACHE_VERSION = 1
+
+#: Default cache path, relative to the working directory.
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+
+def file_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_digest(shas: dict[str, str]) -> str:
+    """Order-independent digest of the whole file set."""
+    digest = hashlib.sha256()
+    for path in sorted(shas):
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(shas[path].encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _violation_to_json(violation: Violation) -> dict[str, object]:
+    return {
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "rule": violation.rule,
+        "message": violation.message,
+    }
+
+
+def _violation_from_json(raw: dict[str, object]) -> Violation:
+    return Violation(
+        path=str(raw["path"]),
+        line=int(raw["line"]),  # type: ignore[arg-type]
+        col=int(raw["col"]),  # type: ignore[arg-type]
+        rule=str(raw["rule"]),
+        message=str(raw["message"]),
+    )
+
+
+class LintCache:
+    """Load/store for the incremental cache file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._payload: dict[str, object] = {}
+        self.loaded = False
+
+    def load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == CACHE_VERSION
+            and isinstance(payload.get("files"), dict)
+        ):
+            self._payload = payload
+            self.loaded = True
+
+    # -- reads -------------------------------------------------------------
+
+    def project_result(
+        self, digest: str
+    ) -> tuple[list[Violation], dict[str, int], list[str]] | None:
+        """``(violations, suppressed-counts, warnings)`` from the previous
+        run if the whole project is unchanged."""
+        if not self.loaded or self._payload.get("project_digest") != digest:
+            return None
+        raw = self._payload.get("project_violations")
+        if not isinstance(raw, list):
+            return None
+        suppressed_raw = self._payload.get("suppressed")
+        warnings_raw = self._payload.get("warnings")
+        try:
+            violations = [_violation_from_json(item) for item in raw]
+            suppressed = {
+                str(rule): int(count)  # type: ignore[arg-type]
+                for rule, count in (
+                    suppressed_raw.items()
+                    if isinstance(suppressed_raw, dict)
+                    else ()
+                )
+            }
+            warnings = [
+                str(item)
+                for item in (
+                    warnings_raw if isinstance(warnings_raw, list) else ()
+                )
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return violations, suppressed, warnings
+
+    def file_result(self, path: str, sha: str) -> list[Violation] | None:
+        """Per-file (R1–R8) findings if *path* is unchanged."""
+        files = self._payload.get("files")
+        if not isinstance(files, dict):
+            return None
+        entry = files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        raw = entry.get("violations")
+        if not isinstance(raw, list):
+            return None
+        try:
+            return [_violation_from_json(item) for item in raw]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- writes ------------------------------------------------------------
+
+    def store(
+        self,
+        shas: dict[str, str],
+        per_file: dict[str, list[Violation]],
+        project_violations: list[Violation],
+        suppressed: dict[str, int] | None = None,
+        warnings: list[str] | None = None,
+    ) -> None:
+        self._payload = {
+            "version": CACHE_VERSION,
+            "project_digest": project_digest(shas),
+            "project_violations": [
+                _violation_to_json(v) for v in project_violations
+            ],
+            "suppressed": dict(suppressed or {}),
+            "warnings": list(warnings or []),
+            "files": {
+                path: {
+                    "sha": shas[path],
+                    "violations": [
+                        _violation_to_json(v) for v in per_file.get(path, [])
+                    ],
+                }
+                for path in shas
+            },
+        }
+
+    def save(self) -> None:
+        try:
+            self.path.write_text(
+                json.dumps(self._payload, indent=1) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # A read-only checkout degrades to uncached, not to failure.
+            pass

@@ -1,10 +1,15 @@
-"""repro-lint: repository-specific AST lint rules.
+"""repro-lint: the repository's static-analysis framework.
 
 The cycle kernel's performance work (active-router dirty set, event-horizon
-fast-forward, content-addressed sweep cache, allocation-free stepping) made
-correctness and performance depend on contracts that ordinary linters cannot
-see. This pass encodes them as eight rules over the stdlib :mod:`ast` (no
-third-party dependencies):
+fast-forward, content-addressed sweep cache, allocation-free stepping) and
+the sweep harness's parallel backends made correctness depend on contracts
+that ordinary linters cannot see. This framework encodes them as eleven
+rules over the stdlib :mod:`ast` (no third-party dependencies). All rules
+run off one shared :class:`~repro.analysis.model.ProjectModel` — the file
+set is parsed and indexed exactly once per run — and the interprocedural
+rules (R9–R11) additionally walk its call graph.
+
+Per-file rules (ported from the original single-file linter):
 
 ``R1`` unseeded-randomness-or-wall-clock
     Simulation-semantics code (``repro/network/``, ``repro/traffic/``,
@@ -40,73 +45,95 @@ third-party dependencies):
 
 ``R6`` hot-path-allocation
     A function marked ``# repro-hot`` (comment on its ``def`` line or the
-    line directly above) must not allocate containers: no list/dict/set/
-    tuple literals, no comprehensions or generator expressions, no calls
-    to container constructors (``list``, ``dict``, ``set``, ``frozenset``,
-    ``tuple``, ``bytearray``, ``deque``, ``defaultdict``, ``Counter``).
-    Hot functions run millions of times per sweep; per-call allocation is
-    the regression this PR's pooling work removed. The rule is also
-    numpy-aware for the batched sweep kernel's vectorized hot lane
-    (``repro/network/batched.py``): calls through a ``numpy``/``np``
-    alias that always materialize an array (``np.zeros``, ``np.where``,
-    ``np.asarray``, ...) are flagged, and ufunc-style calls (``np.add``,
-    ``np.take``, ``np.less``, ...) are flagged unless they write into a
-    preallocated buffer via ``out=``. Exempt: anything under a ``raise``
-    statement (error paths may format messages freely) and parallel
-    assignments like ``a, b = x, y`` (CPython compiles small unpackings
-    to stack rotations, no tuple is materialized). The marker is opt-in,
-    so the rule applies in every linted file.
+    line directly above) must not allocate containers, with numpy-aware
+    handling for the batched kernel's vectorized hot lane (``np.zeros``
+    etc. are flagged; ufunc-style calls are flagged unless they write
+    into a preallocated buffer via ``out=``). Error paths under ``raise``
+    are exempt.
+
+``R7`` harness-interrupt-safety
+    Harness code (``repro/harness/``) must never let a broad handler
+    absorb an interrupt: ``except Exception``/``BaseException``/bare
+    ``except:`` must re-raise unconditionally or be preceded by handlers
+    that re-raise ``KeyboardInterrupt`` and ``SystemExit``.
 
 ``R8`` policy-purity
     ``decide()`` on a :class:`~repro.core.policy.DVSPolicy` subclass must
     be a pure function of its inputs and ``self``: no unseeded
-    randomness (module-level :mod:`random` / global numpy generators —
-    a policy's own seeded ``random.Random`` held on ``self`` is fine),
-    no wall-clock reads, no ``global``/``nonlocal`` statements, and no
-    stores to or mutation of module-level state. Policies run once per
-    window per channel; hidden global state would break Serial vs
-    ProcessPool bit-identity and the sweep cache's claim that a config
-    fingerprint determines the result.
+    randomness, no wall-clock reads, no ``global``/``nonlocal``, no
+    stores to or mutation of module-level state.
 
-``R7`` harness-interrupt-safety
-    Harness code (``repro/harness/`` — the retry/checkpoint/resume layer)
-    must never let a broad handler absorb an interrupt: a handler
-    catching ``Exception``/``BaseException`` (or a bare ``except:``) must
-    either re-raise unconditionally (a top-level bare ``raise`` in its
-    body, the cleanup-then-reraise idiom) or be preceded in the same
-    ``try`` by handlers that re-raise ``KeyboardInterrupt`` and
-    ``SystemExit``. The explicit guard is required even for ``except
-    Exception`` so the contract survives refactors that broaden the
-    handler, and so Ctrl-C during a retry loop always aborts the sweep
-    instead of being retried.
+Interprocedural rules (see their modules for the full story):
 
-Suppressions
+``R9`` determinism-taint (:mod:`repro.analysis.taint`)
+    R1 generalized through the call graph: wall-clock / unseeded-RNG /
+    environment / filesystem taint introduced *anywhere* propagates
+    callee-to-caller, and is reported where it crosses into
+    simulation-semantics code, with the witness chain.
+
+``R10`` unit-dimension-mismatch (:mod:`repro.analysis.dimensions`)
+    Dataflow dimension inference from the ``Quantity`` NewTypes in
+    :mod:`repro.units` and the ``*_fj``/``*_mw``/``*_v``/``*_cycles``
+    naming conventions; flags cross-dimension ``+``/``-``/comparison and
+    unconverted assignment in ``core/``, ``power/`` and the batched
+    kernel's energy ledgers.
+
+``R11`` worker-isolation (:mod:`repro.analysis.isolation`)
+    Worker entry points (``run_point``, ``run_chunk``,
+    ``run_config_batch``) must not reach mutable module globals, and
+    pickled config/source classes must be picklable by construction (no
+    generator-typed fields, no generator instance state, no lambda
+    defaults).
+
+Suppressions and the baseline
     Append ``# repro-lint: ignore[R2]`` (or ``ignore[R1,R4]``) to the
-    flagged line. A file whose first ten lines contain
-    ``# repro-lint: skip-file`` is not checked at all. Directories named
-    ``fixtures`` or ``__pycache__`` are skipped unless
-    ``--include-fixtures`` is given (the bundled violation fixtures under
-    ``tests/fixtures/lint/`` rely on this).
+    flagged line — anywhere inside a multi-line statement works; the
+    pragma covers the innermost enclosing statement's span. Unknown rule
+    ids in pragmas are reported as warnings rather than silently
+    accepted. A file whose first ten lines contain ``# repro-lint:
+    skip-file`` is not checked at all. Directories named ``fixtures`` or
+    ``__pycache__`` are skipped unless ``--include-fixtures`` is given.
+    Pre-existing interprocedural findings live in the committed baseline
+    (``.repro-lint-baseline.json``, loaded automatically when present;
+    see :mod:`repro.analysis.baseline`): baseline-matched findings keep
+    the exit status at 0, new findings fail the run.
 
 Usage::
 
     python -m repro.analysis.lint src tests              # human output
     python -m repro.analysis.lint --format json src      # machine output
+    python -m repro.analysis.lint --format sarif src     # code scanning
+    python -m repro.analysis.lint --cache src tests      # incremental
+    python -m repro.analysis.lint --update-baseline src  # refresh baseline
 
-Exit status is 0 when clean, 1 when violations were found, 2 on usage or
-parse errors.
+Exit status is 0 when clean (including baseline-matched findings), 1
+when new violations were found, 2 on usage or parse errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
-import dataclasses
 import json
 import re
 import sys
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
+
+from . import baseline as baseline_io
+from . import dimensions, isolation, sarif, taint
+from .cache import DEFAULT_CACHE, LintCache, file_sha, project_digest
+from .model import (
+    NP_RANDOM_SEEDED_OK,
+    RANDOM_OK,
+    WALL_CLOCK_CALLS,
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+    Violation,
+    decorator_name,
+    dotted_name,
+)
 
 #: Rule id -> short name (kept in sync with docs/static_analysis.md).
 RULES = {
@@ -118,6 +145,9 @@ RULES = {
     "R6": "hot-path-allocation",
     "R7": "harness-interrupt-safety",
     "R8": "policy-purity",
+    "R9": "determinism-taint",
+    "R10": "unit-dimension-mismatch",
+    "R11": "worker-isolation",
 }
 
 #: Path fragments selecting the files R1 applies to.
@@ -127,32 +157,6 @@ R2_FILES = ("engine.py", "router.py")
 #: Path fragments selecting the files R7 applies to.
 R7_SCOPE = ("repro/harness/",)
 
-#: Wall-clock call chains banned by R1.
-_WALL_CLOCK = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "datetime.now",
-        "datetime.utcnow",
-        "datetime.today",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "date.today",
-    }
-)
-#: random.* attributes that are fine: seeded generator constructors and
-#: state plumbing, not draws from the shared global generator.
-_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
-#: numpy.random constructors that are fine when given an explicit seed.
-_NP_RANDOM_SEEDED_OK = frozenset({"default_rng", "RandomState", "Generator", "SeedSequence"})
-
 #: Annotation names R5 accepts as JSON-serializable leaves.
 _JSON_LEAVES = frozenset({"int", "float", "str", "bool", "None"})
 #: Generic containers R5 accepts (their parameters are checked recursively).
@@ -161,8 +165,6 @@ _JSON_CONTAINERS = frozenset(
      "Sequence", "Mapping", "FrozenSet", "frozenset"}
 )
 
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9,\s]+)\]")
-_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
 #: Marker opting a function into R6 (on the def line or the line above).
 _HOT_RE = re.compile(r"#\s*repro-hot\b")
 
@@ -217,181 +219,26 @@ _R6_LITERALS: tuple[tuple[type, str], ...] = (
 )
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
-class Violation:
-    """One lint finding, sortable into stable report order."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-    def as_dict(self) -> dict[str, object]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "rule": self.rule,
-            "name": RULES.get(self.rule, self.rule),
-            "message": self.message,
-        }
-
-
-@dataclasses.dataclass
-class _ClassInfo:
-    """What the rules need to know about one class definition."""
-
-    name: str
-    bases: tuple[str, ...]
-    methods: frozenset[str]
-    assigns: dict[str, ast.expr]
-    is_dataclass: bool
-    node: ast.ClassDef
-
-
-def _dotted(node: ast.expr) -> str | None:
-    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _decorator_name(node: ast.expr) -> str | None:
-    if isinstance(node, ast.Call):
-        node = node.func
-    return _dotted(node)
-
-
-class _FileContext:
-    """One parsed source file plus its suppression table."""
-
-    def __init__(self, path: str, source: str):
-        self.path = path
-        self.display_path = path
-        self.source = source
-        self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=path)
-        self.suppressions: dict[int, frozenset[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
-            if match:
-                rules = frozenset(
-                    part.strip().upper() for part in match.group(1).split(",")
-                )
-                self.suppressions[lineno] = rules
-        self.skip_file = any(
-            _SKIP_FILE_RE.search(line) for line in self.lines[:10]
-        )
-        self.classes = self._collect_classes()
-
-    def _collect_classes(self) -> dict[str, _ClassInfo]:
-        classes: dict[str, _ClassInfo] = {}
-        for node in ast.walk(self.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            bases = tuple(
-                name for name in (_dotted(base) for base in node.bases) if name
-            )
-            methods = frozenset(
-                item.name
-                for item in node.body
-                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-            )
-            assigns: dict[str, ast.expr] = {}
-            for item in node.body:
-                if isinstance(item, ast.Assign):
-                    for target in item.targets:
-                        if isinstance(target, ast.Name):
-                            assigns[target.id] = item.value
-                elif isinstance(item, ast.AnnAssign) and item.value is not None:
-                    if isinstance(item.target, ast.Name):
-                        assigns[item.target.id] = item.value
-            is_dataclass = any(
-                (_decorator_name(dec) or "").split(".")[-1] == "dataclass"
-                for dec in node.decorator_list
-            )
-            classes[node.name] = _ClassInfo(
-                node.name, bases, methods, assigns, is_dataclass, node
-            )
-        return classes
-
-    def suppressed(self, lineno: int, rule: str) -> bool:
-        rules = self.suppressions.get(lineno)
-        return rules is not None and (rule in rules or "ALL" in rules)
-
-    # -- class-hierarchy helpers (per-file; cross-file bases match by name)
-
-    def inherits_from(self, info: _ClassInfo, root: str) -> bool:
-        seen: set[str] = set()
-        stack = list(info.bases)
-        while stack:
-            base = stack.pop()
-            last = base.split(".")[-1]
-            if last == root:
-                return True
-            if last in seen:
-                continue
-            seen.add(last)
-            parent = self.classes.get(last)
-            if parent is not None:
-                stack.extend(parent.bases)
-        return False
-
-    def hierarchy_defines(self, info: _ClassInfo, member: str) -> bool:
-        """Whether *info* or any in-file ancestor defines *member*."""
-        seen: set[str] = set()
-        stack: list[_ClassInfo] = [info]
-        while stack:
-            current = stack.pop()
-            if current.name in seen:
-                continue
-            seen.add(current.name)
-            if member in current.methods or member in current.assigns:
-                return True
-            for base in current.bases:
-                parent = self.classes.get(base.split(".")[-1])
-                if parent is not None:
-                    stack.append(parent)
-        return False
-
-    def hierarchy_assigns_true(self, info: _ClassInfo, attr: str) -> bool:
-        seen: set[str] = set()
-        stack: list[_ClassInfo] = [info]
-        while stack:
-            current = stack.pop()
-            if current.name in seen:
-                continue
-            seen.add(current.name)
-            value = current.assigns.get(attr)
-            if isinstance(value, ast.Constant) and value.value is True:
-                return True
-            for base in current.bases:
-                parent = self.classes.get(base.split(".")[-1])
-                if parent is not None:
-                    stack.append(parent)
-        return False
-
-
 class Linter:
-    """Parses a file set once, then applies every rule to each file."""
+    """Builds the project model once, then applies every rule.
 
-    def __init__(self, *, include_fixtures: bool = False):
+    Per-file rules (R1–R8) run per module; the interprocedural passes
+    (R9–R11) run once over the whole :class:`ProjectModel`. Suppressed
+    findings are tallied per rule in :attr:`suppressed_counts`; unknown
+    rule ids in pragmas land in :attr:`warnings`.
+    """
+
+    def __init__(self, *, include_fixtures: bool = False) -> None:
         self.include_fixtures = include_fixtures
-        self._files: list[_FileContext] = []
+        self.model = ProjectModel()
         self._errors: list[str] = []
+        self._shas: dict[str, str] = {}
         #: Names of dataclasses seen anywhere in the file set; fields of a
         #: ``*Config`` dataclass may reference them (R5) because
         #: ``to_json`` serializes nested dataclasses recursively.
         self._dataclass_names: set[str] = set()
+        self.suppressed_counts: dict[str, int] = {}
+        self.warnings: list[str] = []
 
     # -- file collection -------------------------------------------------
 
@@ -426,63 +273,122 @@ class Linter:
     def add_source(self, source: str, path: str) -> None:
         """Register in-memory *source* under *path* (tests use this)."""
         try:
-            context = _FileContext(path, source)
+            module = ModuleInfo(path, source)
         except SyntaxError as exc:
             self._errors.append(f"{path}: syntax error: {exc}")
             return
-        self._files.append(context)
+        self.model.add_module(module)
+        self._shas[path] = file_sha(source.encode("utf-8"))
         self._dataclass_names.update(
-            name for name, info in context.classes.items() if info.is_dataclass
+            name for name, info in module.classes.items() if info.is_dataclass
         )
+        for lineno, rules in sorted(module.suppressions.items()):
+            unknown = sorted(rules - set(RULES) - {"ALL"})
+            for rule in unknown:
+                self.warnings.append(
+                    f"{path}:{lineno}: unknown rule {rule!r} in repro-lint "
+                    "ignore pragma (known: R1-R11, ALL)"
+                )
 
     @property
     def errors(self) -> list[str]:
         """Parse/IO problems (reported separately from rule violations)."""
         return self._errors
 
+    def source_line(self, path: str, lineno: int) -> str:
+        """Line *lineno* of *path* (for baseline context matching)."""
+        module = self.model.by_path.get(path)
+        if module is not None and 1 <= lineno <= len(module.lines):
+            return module.lines[lineno - 1]
+        try:
+            lines = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return ""
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
     # -- rule driver -----------------------------------------------------
 
-    def run(self) -> list[Violation]:
+    def run(self, cache: LintCache | None = None) -> list[Violation]:
+        digest = project_digest(self._shas)
+        if cache is not None:
+            cached = cache.project_result(digest)
+            if cached is not None:
+                violations, self.suppressed_counts, self.warnings = cached
+                return violations
+
+        per_file_raw: dict[str, list[Violation]] = {}
         violations: list[Violation] = []
-        for context in self._files:
-            if context.skip_file:
-                continue
-            for violation in self._check_file(context):
-                if not context.suppressed(violation.line, violation.rule):
+        self.suppressed_counts = {}
+
+        def admit(module: ModuleInfo, found: Iterable[Violation]) -> None:
+            for violation in found:
+                if module.suppressed(violation.line, violation.rule):
+                    self.suppressed_counts[violation.rule] = (
+                        self.suppressed_counts.get(violation.rule, 0) + 1
+                    )
+                else:
                     violations.append(violation)
+
+        for path in sorted(self.model.by_path):
+            module = self.model.by_path[path]
+            if module.skip_file:
+                per_file_raw[path] = []
+                continue
+            raw = None
+            if cache is not None:
+                raw = cache.file_result(path, self._shas[path])
+            if raw is None:
+                raw = list(self._check_file(module))
+            per_file_raw[path] = raw
+            admit(module, raw)
+
+        for pass_check in (taint.check, dimensions.check, isolation.check):
+            for violation in pass_check(self.model):
+                module = self.model.by_path.get(violation.path)
+                if module is None or module.skip_file:
+                    continue
+                admit(module, [violation])
+
         violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        if cache is not None:
+            cache.store(
+                self._shas, per_file_raw, violations,
+                self.suppressed_counts, self.warnings,
+            )
         return violations
 
-    def _check_file(self, context: _FileContext) -> Iterator[Violation]:
-        path = context.path
+    def _check_file(self, module: ModuleInfo) -> Iterator[Violation]:
+        path = module.path
         if any(fragment in path for fragment in R1_SCOPE):
-            yield from self._rule_r1(context)
+            yield from self._rule_r1(module)
         if "repro/network/" in path and path.rsplit("/", 1)[-1] in R2_FILES:
-            yield from self._rule_r2(context)
+            yield from self._rule_r2(module)
         if any(fragment in path for fragment in R7_SCOPE):
-            yield from self._rule_r7(context)
-        yield from self._rule_r3(context)
-        yield from self._rule_r4(context)
-        yield from self._rule_r5(context)
-        yield from self._rule_r6(context)
-        yield from self._rule_r8(context)
+            yield from self._rule_r7(module)
+        yield from self._rule_r3(module)
+        yield from self._rule_r4(module)
+        yield from self._rule_r5(module)
+        yield from self._rule_r6(module)
+        yield from self._rule_r8(module)
 
     # -- R1: unseeded randomness / wall clock ----------------------------
 
-    def _rule_r1(self, context: _FileContext) -> Iterator[Violation]:
-        for node in ast.walk(context.tree):
+    def _rule_r1(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            name = _dotted(node.func)
+            name = dotted_name(node.func)
             if name is None:
                 continue
             message: str | None = None
-            if name.startswith("random.") and name.split(".", 1)[1] not in _RANDOM_OK:
+            if name.startswith("random.") and name.split(".", 1)[1] not in RANDOM_OK:
                 message = (
                     f"call to the shared global generator ({name}); draw from a "
                     "seeded random.Random instance instead"
                 )
-            elif name in _WALL_CLOCK:
+            elif name in WALL_CLOCK_CALLS:
                 message = (
                     f"wall-clock read ({name}) in simulation code; use the "
                     "simulated router clock"
@@ -492,7 +398,7 @@ class Linter:
                     if name.startswith(prefix):
                         tail = name[len(prefix):]
                         seeded = (
-                            tail in _NP_RANDOM_SEEDED_OK
+                            tail in NP_RANDOM_SEEDED_OK
                             and bool(node.args or node.keywords)
                         )
                         if not seeded:
@@ -502,14 +408,14 @@ class Linter:
                             )
                         break
             if message is not None:
-                yield Violation(context.display_path, node.lineno,
+                yield Violation(module.display_path, node.lineno,
                                 node.col_offset, "R1", message)
 
     # -- R2: unordered iteration on the hot path -------------------------
 
-    def _rule_r2(self, context: _FileContext) -> Iterator[Violation]:
-        setlike = self._collect_setlike_names(context.tree)
-        for node in ast.walk(context.tree):
+    def _rule_r2(self, module: ModuleInfo) -> Iterator[Violation]:
+        setlike = self._collect_setlike_names(module.tree)
+        for node in ast.walk(module.tree):
             iters: list[ast.expr] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iters.append(node.iter)
@@ -519,7 +425,7 @@ class Linter:
             for iter_expr in iters:
                 message = self._unordered_iter_message(iter_expr, setlike)
                 if message is not None:
-                    yield Violation(context.display_path, iter_expr.lineno,
+                    yield Violation(module.display_path, iter_expr.lineno,
                                     iter_expr.col_offset, "R2", message)
 
     @staticmethod
@@ -530,14 +436,14 @@ class Linter:
         def annotation_is_set(annotation: ast.expr) -> bool:
             if isinstance(annotation, ast.Subscript):
                 annotation = annotation.value
-            name = _dotted(annotation)
+            name = dotted_name(annotation)
             return name is not None and name.split(".")[-1] in ("set", "frozenset", "Set", "FrozenSet")
 
         def value_is_set(value: ast.expr | None) -> bool:
             if isinstance(value, (ast.Set, ast.SetComp)):
                 return True
             if isinstance(value, ast.Call):
-                name = _dotted(value.func)
+                name = dotted_name(value.func)
                 return name in ("set", "frozenset")
             return False
 
@@ -552,18 +458,18 @@ class Linter:
                     if arg.annotation is not None and annotation_is_set(arg.annotation):
                         setlike.add(arg.arg)
             elif isinstance(node, ast.AnnAssign):
-                target = _dotted(node.target)
+                target = dotted_name(node.target)
                 if target and annotation_is_set(node.annotation):
                     setlike.add(target)
             elif isinstance(node, ast.Assign):
                 for target in node.targets:
-                    name = _dotted(target)
+                    name = dotted_name(target)
                     if name is None:
                         continue
                     if value_is_set(node.value):
                         setlike.add(name)
                     else:
-                        source = _dotted(node.value) if node.value is not None else None
+                        source = dotted_name(node.value) if node.value is not None else None
                         if source in setlike:
                             setlike.add(name)
         return setlike
@@ -573,7 +479,7 @@ class Linter:
         iter_expr: ast.expr, setlike: set[str]
     ) -> str | None:
         if isinstance(iter_expr, ast.Call):
-            func = _dotted(iter_expr.func)
+            func = dotted_name(iter_expr.func)
             if func == "sorted":
                 return None
             if isinstance(iter_expr.func, ast.Attribute) and iter_expr.func.attr == "values":
@@ -586,7 +492,7 @@ class Linter:
             return None
         if isinstance(iter_expr, (ast.Set, ast.SetComp)):
             return "iteration over a set literal; wrap in sorted(...)"
-        name = _dotted(iter_expr)
+        name = dotted_name(iter_expr)
         if name is not None and name in setlike:
             return (
                 f"direct iteration over set {name!r} in the hot path; wrap in "
@@ -612,7 +518,7 @@ class Linter:
         )
         names = set()
         for node in nodes:
-            name = _dotted(node)
+            name = dotted_name(node)
             if name is not None:
                 names.add(name.split(".")[-1])
         return frozenset(names)
@@ -630,8 +536,8 @@ class Linter:
             for stmt in handler.body
         )
 
-    def _rule_r7(self, context: _FileContext) -> Iterator[Violation]:
-        for node in ast.walk(context.tree):
+    def _rule_r7(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
             if not isinstance(node, ast.Try):
                 continue
             reraised: set[str] = set()
@@ -650,7 +556,7 @@ class Linter:
                             else f"except {ast.unparse(handler.type)}"
                         )
                         yield Violation(
-                            context.display_path, handler.lineno,
+                            module.display_path, handler.lineno,
                             handler.col_offset, "R7",
                             f"broad handler ({label}) in harness code can "
                             "absorb an interrupt; add 'except "
@@ -662,49 +568,49 @@ class Linter:
 
     # -- R3: TrafficSource contract --------------------------------------
 
-    def _rule_r3(self, context: _FileContext) -> Iterator[Violation]:
-        for info in context.classes.values():
+    def _rule_r3(self, module: ModuleInfo) -> Iterator[Violation]:
+        for info in module.classes.values():
             if info.name == "TrafficSource":
                 continue
-            if not context.inherits_from(info, "TrafficSource"):
+            if not module.inherits_from(info, "TrafficSource"):
                 continue
             if self._is_abstract(info):
                 continue
-            if context.hierarchy_defines(info, "next_injection_cycle"):
+            if module.hierarchy_defines(info, "next_injection_cycle"):
                 continue
             yield Violation(
-                context.display_path, info.node.lineno, info.node.col_offset, "R3",
+                module.display_path, info.node.lineno, info.node.col_offset, "R3",
                 f"TrafficSource subclass {info.name!r} does not override "
                 "next_injection_cycle; the conservative default disables "
                 "quiescence fast-forward",
             )
 
     @staticmethod
-    def _is_abstract(info: _ClassInfo) -> bool:
+    def _is_abstract(info: ClassInfo) -> bool:
         for item in info.node.body:
             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 for dec in item.decorator_list:
-                    name = _decorator_name(dec) or ""
+                    name = decorator_name(dec) or ""
                     if name.split(".")[-1] in ("abstractmethod", "abstractproperty"):
                         return True
         return False
 
     # -- R4: observer skip-safety ----------------------------------------
 
-    def _rule_r4(self, context: _FileContext) -> Iterator[Violation]:
-        for info in context.classes.values():
+    def _rule_r4(self, module: ModuleInfo) -> Iterator[Violation]:
+        for info in module.classes.values():
             if info.name == "Observer":
                 continue
             if "on_cycle" not in info.methods:
                 continue
-            if not context.inherits_from(info, "Observer"):
+            if not module.inherits_from(info, "Observer"):
                 continue
-            if context.hierarchy_defines(info, "on_idle_span"):
+            if module.hierarchy_defines(info, "on_idle_span"):
                 continue
-            if context.hierarchy_assigns_true(info, "unskippable"):
+            if module.hierarchy_assigns_true(info, "unskippable"):
                 continue
             yield Violation(
-                context.display_path, info.node.lineno, info.node.col_offset, "R4",
+                module.display_path, info.node.lineno, info.node.col_offset, "R4",
                 f"observer {info.name!r} overrides on_cycle without "
                 "on_idle_span; define on_idle_span or declare "
                 "'unskippable = True' to document that fast-forward must stop",
@@ -712,8 +618,8 @@ class Linter:
 
     # -- R5: config dataclass fields must serialize ----------------------
 
-    def _rule_r5(self, context: _FileContext) -> Iterator[Violation]:
-        for info in context.classes.values():
+    def _rule_r5(self, module: ModuleInfo) -> Iterator[Violation]:
+        for info in module.classes.values():
             if not info.is_dataclass or not info.name.endswith("Config"):
                 continue
             for item in info.node.body:
@@ -721,12 +627,12 @@ class Linter:
                     continue
                 if isinstance(item.target, ast.Name) and item.target.id.startswith("_"):
                     continue
-                if item.annotation is not None and _dotted(item.annotation) == "ClassVar":
+                if item.annotation is not None and dotted_name(item.annotation) == "ClassVar":
                     continue
                 if not self._annotation_serializable(item.annotation):
                     field = item.target.id if isinstance(item.target, ast.Name) else "?"
                     yield Violation(
-                        context.display_path, item.lineno, item.col_offset, "R5",
+                        module.display_path, item.lineno, item.col_offset, "R5",
                         f"field {info.name}.{field} has non-JSON-serializable "
                         f"annotation {ast.unparse(item.annotation)!r}; the sweep "
                         "cache key would fall back to repr()",
@@ -734,26 +640,26 @@ class Linter:
 
     # -- R6: no container allocation in # repro-hot functions ------------
 
-    def _rule_r6(self, context: _FileContext) -> Iterator[Violation]:
-        for node in ast.walk(context.tree):
+    def _rule_r6(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            if not self._is_hot_function(context, node):
+            if not self._is_hot_function(module, node):
                 continue
-            yield from self._r6_scan(context, node.name, node.body)
+            yield from self._r6_scan(module, node.name, node.body)
 
     @staticmethod
     def _is_hot_function(
-        context: _FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+        module: ModuleInfo, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> bool:
         """The ``# repro-hot`` marker sits on the def line or just above."""
-        lines = context.lines
+        lines = module.lines
         def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
         above = lines[node.lineno - 2] if node.lineno >= 2 else ""
         return bool(_HOT_RE.search(def_line) or _HOT_RE.search(above))
 
     def _r6_scan(
-        self, context: _FileContext, func_name: str, body: Sequence[ast.stmt]
+        self, module: ModuleInfo, func_name: str, body: Sequence[ast.stmt]
     ) -> Iterator[Violation]:
         """Walk *body* flagging allocations, skipping ``raise`` subtrees."""
         stack: list[ast.AST] = list(body)
@@ -777,7 +683,7 @@ class Linter:
             message = self._r6_allocation_message(node)
             if message is not None:
                 yield Violation(
-                    context.display_path, node.lineno, node.col_offset, "R6",
+                    module.display_path, node.lineno, node.col_offset, "R6",
                     f"{message} allocates in # repro-hot function "
                     f"{func_name!r}; hoist it to setup code or reuse a "
                     "pooled/preallocated container",
@@ -797,7 +703,7 @@ class Linter:
                 )
             return None
         if isinstance(node, ast.Call):
-            name = _dotted(node.func)
+            name = dotted_name(node.func)
             if name is None:
                 return None
             if name.split(".")[-1] in _R6_CONSTRUCTORS:
@@ -830,23 +736,23 @@ class Linter:
                     names.add(stmt.target.id)
         return frozenset(names)
 
-    def _rule_r8(self, context: _FileContext) -> Iterator[Violation]:
-        module_names = self._module_level_names(context.tree)
-        for info in context.classes.values():
+    def _rule_r8(self, module: ModuleInfo) -> Iterator[Violation]:
+        module_names = self._module_level_names(module.tree)
+        for info in module.classes.values():
             if info.name == "DVSPolicy":
                 continue
-            if not context.inherits_from(info, "DVSPolicy"):
+            if not module.inherits_from(info, "DVSPolicy"):
                 continue
             for item in info.node.body:
                 if (
                     isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
                     and item.name == "decide"
                 ):
-                    yield from self._r8_scan(context, info.name, item, module_names)
+                    yield from self._r8_scan(module, info.name, item, module_names)
 
     def _r8_scan(
         self,
-        context: _FileContext,
+        module: ModuleInfo,
         class_name: str,
         func: ast.FunctionDef | ast.AsyncFunctionDef,
         module_names: frozenset[str],
@@ -889,7 +795,7 @@ class Linter:
             if isinstance(node, (ast.Global, ast.Nonlocal)):
                 keyword = "global" if isinstance(node, ast.Global) else "nonlocal"
                 yield Violation(
-                    context.display_path, node.lineno, node.col_offset, "R8",
+                    module.display_path, node.lineno, node.col_offset, "R8",
                     f"{keyword} statement in {where}{suffix}",
                 )
             elif isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
@@ -898,25 +804,25 @@ class Linter:
                 root = global_root(node)
                 if root is not None:
                     yield Violation(
-                        context.display_path, node.lineno, node.col_offset, "R8",
+                        module.display_path, node.lineno, node.col_offset, "R8",
                         f"store to module-level state {root!r} in {where}{suffix}",
                     )
             elif isinstance(node, ast.Call):
-                name = _dotted(node.func)
+                name = dotted_name(node.func)
                 if name is None:
                     continue
                 if (
                     name.startswith("random.")
-                    and name.split(".", 1)[1] not in _RANDOM_OK
+                    and name.split(".", 1)[1] not in RANDOM_OK
                 ):
                     yield Violation(
-                        context.display_path, node.lineno, node.col_offset, "R8",
+                        module.display_path, node.lineno, node.col_offset, "R8",
                         f"unseeded randomness ({name}) in {where}; draw from a "
                         f"seeded random.Random held on self{suffix}",
                     )
-                elif name in _WALL_CLOCK:
+                elif name in WALL_CLOCK_CALLS:
                     yield Violation(
-                        context.display_path, node.lineno, node.col_offset, "R8",
+                        module.display_path, node.lineno, node.col_offset, "R8",
                         f"wall-clock read ({name}) in {where}{suffix}",
                     )
                 elif any(
@@ -924,7 +830,7 @@ class Linter:
                     for prefix in ("numpy.random.", "np.random.")
                 ):
                     yield Violation(
-                        context.display_path, node.lineno, node.col_offset, "R8",
+                        module.display_path, node.lineno, node.col_offset, "R8",
                         f"global numpy generator ({name}) in {where}{suffix}",
                     )
                 elif (
@@ -934,7 +840,7 @@ class Linter:
                     root = global_root(node.func.value)
                     if root is not None:
                         yield Violation(
-                            context.display_path, node.lineno,
+                            module.display_path, node.lineno,
                             node.col_offset, "R8",
                             f"mutation of module-level state {root!r} "
                             f"(.{node.func.attr}()) in {where}{suffix}",
@@ -956,7 +862,7 @@ class Linter:
                 annotation.left
             ) and self._annotation_serializable(annotation.right)
         if isinstance(annotation, ast.Subscript):
-            container = _dotted(annotation.value)
+            container = dotted_name(annotation.value)
             if container is None:
                 return False
             if container == "ClassVar" or container.split(".")[-1] == "ClassVar":
@@ -974,7 +880,7 @@ class Linter:
                 or self._annotation_serializable(element)
                 for element in elements
             )
-        name = _dotted(annotation)
+        name = dotted_name(annotation)
         if name is None:
             return False
         last = name.split(".")[-1]
@@ -989,33 +895,116 @@ class Linter:
 
 
 def lint_paths(
-    paths: Sequence[str | Path], *, include_fixtures: bool = False
+    paths: Sequence[str | Path],
+    *,
+    include_fixtures: bool = False,
+    baseline: str | Path | None = None,
 ) -> tuple[list[Violation], list[str]]:
-    """Lint *paths*; returns ``(violations, parse_errors)``."""
+    """Lint *paths*; returns ``(violations, parse_errors)``.
+
+    With *baseline*, findings matching the committed baseline file are
+    filtered out — only new findings are returned.
+    """
     linter = Linter(include_fixtures=include_fixtures)
     linter.add_paths(paths)
-    return linter.run(), linter.errors
+    violations = linter.run()
+    if baseline is not None:
+        entries = baseline_io.load(baseline)
+        violations, _, _ = baseline_io.apply(
+            violations, entries, linter.source_line
+        )
+    return violations, linter.errors
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repo-specific AST lint rules (see docs/static_analysis.md)",
+        description=(
+            "repo-specific static-analysis rules R1-R11 "
+            "(see docs/static_analysis.md)"
+        ),
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--include-fixtures", action="store_true",
         help="also lint directories named 'fixtures' (skipped by default)",
     )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=(
+            "baseline file of known findings (default: "
+            f"{baseline_io.DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "rewrite the baseline from the current findings (preserving "
+            "justifications of surviving entries) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", nargs="?", const=DEFAULT_CACHE, default=None,
+        help=(
+            "enable the incremental result cache at PATH (default when the "
+            f"flag is given without a value: {DEFAULT_CACHE})"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    violations, errors = lint_paths(
-        args.paths, include_fixtures=args.include_fixtures
-    )
+    linter = Linter(include_fixtures=args.include_fixtures)
+    linter.add_paths(args.paths)
+    cache: LintCache | None = None
+    if args.cache is not None:
+        cache = LintCache(args.cache)
+        cache.load()
+    violations = linter.run(cache)
+    if cache is not None:
+        cache.save()
+    errors = linter.errors
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif Path(baseline_io.DEFAULT_BASELINE).is_file():
+            baseline_path = Path(baseline_io.DEFAULT_BASELINE)
+
+    if args.update_baseline:
+        target = baseline_path or Path(baseline_io.DEFAULT_BASELINE)
+        previous: list[dict[str, object]] = []
+        if target.is_file():
+            try:
+                previous = baseline_io.load(target)
+            except baseline_io.BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        count = baseline_io.save(
+            target, violations, linter.source_line, previous
+        )
+        print(f"repro-lint: wrote {count} baseline entrie(s) to {target}")
+        return 2 if errors else 0
+
+    matched: list[Violation] = []
+    stale: list[str] = []
+    if baseline_path is not None:
+        try:
+            entries = baseline_io.load(baseline_path)
+        except baseline_io.BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        violations, matched, stale = baseline_io.apply(
+            violations, entries, linter.source_line
+        )
+
     if args.format == "json":
         print(
             json.dumps(
@@ -1023,17 +1012,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "violations": [v.as_dict() for v in violations],
                     "errors": errors,
                     "rules": RULES,
+                    "suppressions": dict(sorted(linter.suppressed_counts.items())),
+                    "baseline": {
+                        "path": str(baseline_path) if baseline_path else None,
+                        "matched": len(matched),
+                        "stale": stale,
+                    },
+                    "warnings": linter.warnings,
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(sarif.render(violations, RULES))
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
     else:
         for violation in violations:
             print(violation.render())
+        for warning in linter.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        for warning in stale:
+            print(f"warning: {warning}", file=sys.stderr)
         for error in errors:
             print(f"error: {error}", file=sys.stderr)
         if not violations and not errors:
-            print("repro-lint: clean")
+            suffix = f" ({len(matched)} baseline finding(s))" if matched else ""
+            print(f"repro-lint: clean{suffix}")
         elif violations:
             counts: dict[str, int] = {}
             for violation in violations:

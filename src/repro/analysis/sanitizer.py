@@ -91,7 +91,7 @@ class SanitizerViolation(SimulationError):
         port: int | None = None,
         vc: int | None = None,
         channel: int | None = None,
-    ):
+    ) -> None:
         self.rule = rule
         self.cycle = cycle
         self.node = node
@@ -139,7 +139,7 @@ class SanitizerObserver(Observer):
         *,
         raise_on_violation: bool = True,
         check_every: int = 1,
-    ):
+    ) -> None:
         if check_every < 1:
             raise SimulationError("check_every must be >= 1")
         self.engine = engine
@@ -207,7 +207,7 @@ class ConservationSanitizer(SanitizerObserver):
 
     rule = "conservation"
 
-    def __init__(self, engine: "SimulationEngine", **kwargs: object):
+    def __init__(self, engine: "SimulationEngine", **kwargs: object) -> None:
         super().__init__(engine, **kwargs)  # type: ignore[arg-type]
         #: Per-channel (credits list, full-credit template, downstream
         #: buffer lists, spec) resolved once: the kernel mutates these
@@ -335,7 +335,7 @@ class VCAllocationSanitizer(SanitizerObserver):
 
     rule = "vc-allocation"
 
-    def __init__(self, engine: "SimulationEngine", **kwargs: object):
+    def __init__(self, engine: "SimulationEngine", **kwargs: object) -> None:
         super().__init__(engine, **kwargs)  # type: ignore[arg-type]
         #: Per-out-port all-free / full-credit templates, for the idle
         #: short-circuit in the leaked-allocation sweep.
@@ -482,7 +482,7 @@ class DVSTransitionSanitizer(SanitizerObserver):
 
     rule = "dvs-transition"
 
-    def __init__(self, engine: "SimulationEngine", **kwargs: object):
+    def __init__(self, engine: "SimulationEngine", **kwargs: object) -> None:
         super().__init__(engine, **kwargs)  # type: ignore[arg-type]
         #: Per-channel (level, voltage_level, locked, phase, flits_sent)
         #: at that channel's previous observation, lazily populated.
@@ -684,7 +684,7 @@ class TrafficContractSanitizer(SanitizerObserver):
         *,
         deep_every: int = 64,
         **kwargs: object,
-    ):
+    ) -> None:
         super().__init__(engine, **kwargs)  # type: ignore[arg-type]
         if deep_every < 1:
             raise SimulationError("deep_every must be >= 1")
@@ -746,7 +746,7 @@ class NetworkSanitizer(Observer):
         *,
         raise_on_violation: bool = True,
         check_every: int = DEFAULT_CHECK_EVERY,
-    ):
+    ) -> None:
         self.engine = engine
         self.checkers: tuple[SanitizerObserver, ...] = (
             ConservationSanitizer(

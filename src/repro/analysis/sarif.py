@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 export for the static-analysis framework.
+
+Emits the minimal subset GitHub code scanning consumes: one run, one
+tool (``repro-lint``) with a rule descriptor per rule id, and one result
+per finding with a physical location. Baseline-matched findings are
+*not* exported — code scanning should annotate only what a PR must act
+on — which mirrors the CLI's exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from .model import Violation
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+def render(
+    violations: Sequence[Violation],
+    rules: Mapping[str, str],
+    *,
+    tool_name: str = "repro-lint",
+    information_uri: str = "docs/static_analysis.md",
+) -> str:
+    """Render *violations* as a SARIF 2.1.0 JSON document."""
+    # Rule-index order (R1..R11), then any rule ids the mapping misses.
+    extra = {violation.rule for violation in violations} - set(rules)
+    used = list(rules) + sorted(extra)
+    descriptors = [
+        {
+            "id": rule,
+            "name": rules.get(rule, rule),
+            "shortDescription": {"text": rules.get(rule, rule)},
+            "helpUri": information_uri,
+        }
+        for rule in used
+    ]
+    rule_index = {rule: index for index, rule in enumerate(used)}
+    results = [
+        {
+            "ruleId": violation.rule,
+            "ruleIndex": rule_index.get(violation.rule, -1),
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": information_uri,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

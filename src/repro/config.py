@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .core.dvs_link import TransitionTiming
 from .core.levels import VFTable
 from .core.power_model import LinkPowerModel, RegulatorModel
-from .core.dvs_link import TransitionTiming
 from .core.registry import validate_dvs_config
 from .core.thresholds import TABLE1_DEFAULT, ThresholdSet
 from .errors import ConfigError

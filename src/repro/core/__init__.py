@@ -12,10 +12,11 @@ threshold presets (:mod:`repro.core.thresholds`), and the hardware cost
 model of Section 3.3 (:mod:`repro.core.hardware`).
 """
 
-from .levels import VFOperatingPoint, VFTable
-from .power_model import LinkPowerModel, RegulatorModel, transition_energy
+from .controller import PortDVSController
 from .dvs_link import ChannelPhase, DVSChannel, TransitionTiming
+from .hardware import ControllerHardwareModel
 from .history import EWMAPredictor, WindowSampler
+from .levels import VFOperatingPoint, VFTable
 from .policy import (
     AdaptiveThresholdPolicy,
     AlwaysMaxPolicy,
@@ -26,9 +27,8 @@ from .policy import (
     PolicyInputs,
     StaticLevelPolicy,
 )
-from .controller import PortDVSController
+from .power_model import LinkPowerModel, RegulatorModel, transition_energy
 from .thresholds import TABLE1_DEFAULT, TABLE2_SETTINGS, ThresholdSet
-from .hardware import ControllerHardwareModel
 
 __all__ = [
     "VFOperatingPoint",

@@ -70,7 +70,7 @@ class PortDVSController:
         *,
         window_cycles: int = 200,
         buffer_capacity: int = 128,
-    ):
+    ) -> None:
         if window_cycles <= 0:
             raise ConfigError("history window must be positive")
         if buffer_capacity <= 0:

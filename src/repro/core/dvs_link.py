@@ -154,7 +154,7 @@ class DVSChannel:
         initial_level: int | None = None,
         retention_voltage_v: float = 0.3,
         wake_lockout_cycles: int = 0,
-    ):
+    ) -> None:
         if lanes <= 0:
             raise ConfigError("a channel needs at least one lane")
         if router_clock_hz <= 0.0:

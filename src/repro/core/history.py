@@ -25,7 +25,7 @@ class EWMAPredictor:
 
     __slots__ = ("weight", "_predicted", "_primed")
 
-    def __init__(self, weight: float = 3.0, initial: float = 0.0):
+    def __init__(self, weight: float = 3.0, initial: float = 0.0) -> None:
         if weight <= 0.0:
             raise ConfigError(f"EWMA weight must be positive, got {weight!r}")
         if not 0.0 <= initial <= 1.0:
@@ -86,7 +86,7 @@ class WindowSampler:
 
     __slots__ = ("window_cycles", "_busy_cycles", "_occupancy_sum", "_buffer_capacity")
 
-    def __init__(self, window_cycles: int, buffer_capacity: int):
+    def __init__(self, window_cycles: int, buffer_capacity: int) -> None:
         if window_cycles <= 0:
             raise ConfigError("history window must be positive")
         if buffer_capacity <= 0:

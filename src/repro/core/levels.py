@@ -51,10 +51,10 @@ class VFTable:
     never require a *lower* minimum supply voltage).
     """
 
-    def __init__(self, points: Sequence[VFOperatingPoint]):
+    def __init__(self, points: Sequence[VFOperatingPoint]) -> None:
         if len(points) < 2:
             raise ConfigError("a VF table needs at least two levels")
-        for lower, upper in zip(points, points[1:]):
+        for lower, upper in zip(points, points[1:], strict=False):
             if upper.frequency_hz <= lower.frequency_hz:
                 raise ConfigError(
                     "VF table frequencies must be strictly increasing: "

@@ -121,7 +121,7 @@ class HistoryDVSPolicy(DVSPolicy):
         thresholds: ThresholdSet = TABLE1_DEFAULT,
         *,
         weight: float = 3.0,
-    ):
+    ) -> None:
         self.thresholds = thresholds
         self._lu_predictor = EWMAPredictor(weight)
         self._bu_predictor = EWMAPredictor(weight)
@@ -168,7 +168,7 @@ class StaticLevelPolicy(DVSPolicy):
     expected workload and never tracks it.
     """
 
-    def __init__(self, level: int):
+    def __init__(self, level: int) -> None:
         if level < 0:
             raise ConfigError(f"static level must be non-negative, got {level}")
         self.level = level
@@ -196,7 +196,7 @@ class LinkUtilizationOnlyPolicy(DVSPolicy):
         thresholds: ThresholdSet = TABLE1_DEFAULT,
         *,
         weight: float = 3.0,
-    ):
+    ) -> None:
         self.thresholds = thresholds
         self._lu_predictor = EWMAPredictor(weight)
 
@@ -241,7 +241,7 @@ class AdaptiveThresholdPolicy(DVSPolicy):
         patience: int = 8,
         comfort_bu: float = 0.2,
         danger_bu: float = 0.4,
-    ):
+    ) -> None:
         if step <= 0.0 or gap <= 0.0:
             raise ConfigError("step and gap must be positive")
         if not 0.0 <= floor_low < ceiling_low <= 1.0 - gap:

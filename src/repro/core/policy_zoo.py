@@ -73,7 +73,7 @@ class ErrorCorrectionPolicy(DVSPolicy):
         replay_flits: int = 8,
         seed: int = 1,
         channel_index: int = 0,
-    ):
+    ) -> None:
         if not 0.0 <= error_rate <= 1.0:
             raise ConfigError("error rate must be in [0, 1]")
         if error_growth < 1.0:
@@ -159,7 +159,7 @@ class LinkShutdownPolicy(DVSPolicy):
         sleep_lu: float = 0.05,
         sleep_patience: int = 4,
         max_sleep_windows: int = 0,
-    ):
+    ) -> None:
         if not 0.0 <= sleep_lu <= 1.0:
             raise ConfigError("sleep LU threshold must be in [0, 1]")
         if sleep_patience < 1:
@@ -235,7 +235,7 @@ class OraclePolicy(DVSPolicy):
     lunch.
     """
 
-    def __init__(self, table: VFTable, *, headroom: float = 0.9):
+    def __init__(self, table: VFTable, *, headroom: float = 0.9) -> None:
         if not 0.0 < headroom <= 1.0:
             raise ConfigError("headroom must be in (0, 1]")
         self.table = table

@@ -94,7 +94,7 @@ class LinkPowerModel:
         low_power_w: float = 23.6e-3,
         high_anchor: VFOperatingPoint | None = None,
         high_power_w: float = 200.0e-3,
-    ):
+    ) -> None:
         if low_anchor is None:
             low_anchor = VFOperatingPoint(frequency_hz=125.0e6, voltage_v=0.9)
         if high_anchor is None:

@@ -18,6 +18,7 @@ from .chaos import ChaosPlan
 from .resilience import FailureReport, PointFailure, RetryPolicy, run_point
 from .runner import build_simulator, run_simulation
 from .scales import DEFAULT_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale, get_scale
+from .serialization import to_json, write_json
 from .sweep import (
     SweepPoint,
     compare_policies,
@@ -27,7 +28,6 @@ from .sweep import (
     zero_load_latency,
 )
 from .tables import render_table
-from .serialization import to_json, write_json
 
 __all__ = [
     "build_simulator",

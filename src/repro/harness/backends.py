@@ -44,7 +44,7 @@ from typing import Iterable, Iterator, Optional, cast
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
-from ..network.batched import BatchedEngine, DEFAULT_MAX_BATCH, plan_batches, require_numpy
+from ..network.batched import DEFAULT_MAX_BATCH, BatchedEngine, plan_batches, require_numpy
 from ..network.simulator import SimulationResult
 from .cache import SweepCache, get_cache
 from .resilience import (
@@ -276,7 +276,7 @@ class ProcessPoolBackend(ExecutionBackend):
         cache: Optional[SweepCache],
     ) -> None:
         """Single-process degenerate path: no pool spawn, same semantics."""
-        for config, index in zip(configs, indices):
+        for config, index in zip(configs, indices, strict=False):
             result, failure = run_point(config, self.retry, runner=run_simulation)
             if failure is not None:
                 report.record(failure)
@@ -337,7 +337,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 f"{len(chunk.configs)} configs"
             )
         for (result, failure), config, index in zip(
-            outcomes, chunk.configs, chunk.indices
+            outcomes, chunk.configs, chunk.indices, strict=False
         ):
             if failure is not None:
                 report.record(failure)

@@ -15,9 +15,9 @@ from ..config import DVSControlConfig, SimulationConfig
 from ..core.registry import policy_label
 from ..core.thresholds import TABLE2_SETTINGS
 from ..errors import ExperimentError
+from ..network.topology import Topology
 from ..power.router_power import RouterPowerProfile
 from ..traffic.base import make_traffic
-from ..network.topology import Topology
 from .runner import build_simulator, run_simulation
 from .scales import DEFAULT_SCALE, ExperimentScale
 from .sweep import (
@@ -290,7 +290,7 @@ def _dvs_comparison(
             round(d.normalized_power, 3),
             round(d.savings_factor, 2),
         )
-        for b, d in zip(baseline, dvs)
+        for b, d in zip(baseline, dvs, strict=False)
     ]
     return FigureResult(
         figure,

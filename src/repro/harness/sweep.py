@@ -138,7 +138,7 @@ def rate_sweep(
     )
     return [
         SweepPoint.from_result(rate, result)
-        for rate, result in zip(rates, results)
+        for rate, result in zip(rates, results, strict=False)
         if result is not None
     ]
 
@@ -265,7 +265,7 @@ def summarize_comparison(
     dvs_pre = dvs[pre]
     increases = [
         d.mean_latency / b.mean_latency - 1.0
-        for b, d in zip(base_pre, dvs_pre)
+        for b, d in zip(base_pre, dvs_pre, strict=False)
         if not math.isnan(b.mean_latency) and not math.isnan(d.mean_latency)
     ]
     if not increases:

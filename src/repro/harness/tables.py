@@ -40,9 +40,9 @@ def render_table(
     lines = []
     if title:
         lines.append(title)
-    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths, strict=False))
     lines.append(header)
     lines.append("-" * len(header))
     for row in cells:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths, strict=False)))
     return "\n".join(lines)

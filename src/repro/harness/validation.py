@@ -100,7 +100,7 @@ def observe_scale(
         scale_name=scale.name,
         savings_by_rate=tuple(point.savings_factor for point in dvs),
         latency_ratio_by_rate=tuple(
-            d.mean_latency / b.mean_latency for b, d in zip(baseline, dvs)
+            d.mean_latency / b.mean_latency for b, d in zip(baseline, dvs, strict=False)
         ),
         throughput_change=(
             max(p.accepted_rate for p in dvs)

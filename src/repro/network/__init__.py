@@ -7,18 +7,18 @@ channels are DVS links with the transition behaviour of
 :mod:`repro.core.dvs_link`.
 """
 
+from .channel import NetworkChannel
+from .engine import SimulationEngine
 from .packet import Flit, Packet
-from .topology import Coordinates, Topology
 from .routing import (
     DimensionOrderRouting,
     MinimalAdaptiveRouting,
     RoutingFunction,
     make_routing,
 )
-from .channel import NetworkChannel
-from .engine import SimulationEngine
-from .simulator import Simulator, SimulationResult
+from .simulator import SimulationResult, Simulator
 from .stats import NetworkSnapshot, snapshot
+from .topology import Coordinates, Topology
 
 __all__ = [
     "NetworkSnapshot",

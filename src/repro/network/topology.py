@@ -175,7 +175,7 @@ class Topology:
         self._check_node(src)
         self._check_node(dst)
         total = 0
-        for a, b in zip(self._coords[src], self._coords[dst]):
+        for a, b in zip(self._coords[src], self._coords[dst], strict=False):
             delta = abs(a - b)
             if self.wraparound:
                 delta = min(delta, self.radix - delta)

@@ -10,15 +10,15 @@ alongside.
 """
 
 from .base import TrafficSource, make_traffic
-from .pareto import pareto_mean, pareto_sample
-from .onoff import OnOffSourceSet
-from .locality import SphereOfLocality
-from .tasks import TwoLevelWorkload
-from .uniform import UniformRandomTraffic
-from .permutation import PERMUTATIONS, PermutationTraffic
 from .hotspot import HotspotTraffic
+from .locality import SphereOfLocality
+from .onoff import OnOffSourceSet
+from .pareto import pareto_mean, pareto_sample
+from .permutation import PERMUTATIONS, PermutationTraffic
 from .selfsim import hurst_rs, hurst_variance_time
+from .tasks import TwoLevelWorkload
 from .trace import RecordingSource, TraceReplaySource
+from .uniform import UniformRandomTraffic
 
 __all__ = [
     "TrafficSource",

@@ -12,7 +12,31 @@ can speak the paper's units (MHz, us, mW) without sprinkling powers of ten.
 
 from __future__ import annotations
 
+from typing import NewType
+
 from .errors import ConfigError
+
+# -- Quantity NewTypes -------------------------------------------------------
+# One NewType per dimension the model cares about. They are erased at
+# runtime (``Hertz(x)`` is ``x``) and each is a subtype of its base, so
+# annotating *return* positions is free for existing callers while giving
+# mypy — and the repo's own R10 dimension pass (repro.analysis.dimensions)
+# — a declared dimension to propagate. Parameter positions deliberately
+# stay ``float``/``int``: forcing every call site to wrap literals would
+# add noise without catching more bugs than R10's suffix conventions do.
+
+#: Router/link clock cycles (the simulator's native time base).
+Cycles = NewType("Cycles", int)
+#: Link supply voltage.
+Volts = NewType("Volts", float)
+#: Clock frequency.
+Hertz = NewType("Hertz", float)
+#: Power in milliwatts (the paper's Table 1 unit).
+Milliwatts = NewType("Milliwatts", float)
+#: Integer femtojoules — the batched kernel's exact energy ledger unit.
+Femtojoules = NewType("Femtojoules", int)
+#: Energy in joules.
+Joules = NewType("Joules", float)
 
 #: Hertz in one megahertz.
 MHZ = 1.0e6
@@ -33,14 +57,14 @@ UJ = 1.0e-6
 FJ = 1.0e-15
 
 
-def mhz(value: float) -> float:
+def mhz(value: float) -> Hertz:
     """Return *value* megahertz expressed in hertz."""
-    return value * MHZ
+    return Hertz(value * MHZ)
 
 
-def ghz(value: float) -> float:
+def ghz(value: float) -> Hertz:
     """Return *value* gigahertz expressed in hertz."""
-    return value * GHZ
+    return Hertz(value * GHZ)
 
 
 def microseconds(value: float) -> float:
@@ -58,7 +82,7 @@ def milliwatts(value: float) -> float:
     return value * MW
 
 
-def seconds_to_cycles(duration_s: float, clock_hz: float) -> int:
+def seconds_to_cycles(duration_s: float, clock_hz: float) -> Cycles:
     """Convert a duration in seconds to whole clock cycles (rounded).
 
     Raises :class:`ConfigError` for a non-positive clock, which would
@@ -68,7 +92,7 @@ def seconds_to_cycles(duration_s: float, clock_hz: float) -> int:
         raise ConfigError(f"clock frequency must be positive, got {clock_hz!r}")
     if duration_s < 0.0:
         raise ConfigError(f"duration must be non-negative, got {duration_s!r}")
-    return int(round(duration_s * clock_hz))
+    return Cycles(int(round(duration_s * clock_hz)))
 
 
 def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
@@ -78,7 +102,7 @@ def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
     return cycles / clock_hz
 
 
-def joules_to_femtojoules(energy_j: float) -> int:
+def joules_to_femtojoules(energy_j: float) -> Femtojoules:
     """Convert *energy_j* joules to integer femtojoules (nearest).
 
     The batched sweep kernel keeps per-link energy in integer femtojoule
@@ -93,12 +117,12 @@ def joules_to_femtojoules(energy_j: float) -> int:
     to ~9223 J per link — three orders of magnitude above a full paper
     run's total.
     """
-    return round(energy_j / FJ)
+    return Femtojoules(round(energy_j / FJ))
 
 
-def femtojoules_to_joules(energy_fj: int) -> float:
+def femtojoules_to_joules(energy_fj: int) -> Joules:
     """Convert integer femtojoules back to joules (floating point)."""
-    return energy_fj * FJ
+    return Joules(energy_fj * FJ)
 
 
 def bandwidth_bits_per_s(link_hz: float, lanes: int, mux_ratio: int) -> float:

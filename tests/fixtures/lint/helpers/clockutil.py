@@ -1,0 +1,13 @@
+"""Out-of-scope helper whose taint R9 must chase across the call graph.
+
+This file lives outside the simulation-semantics paths, so R1 does not
+apply here — which is exactly the hole R9 closes: the wall-clock read
+below taints ``jitter_seed``, and any in-scope caller is reported at its
+call site with the witness chain (see ``repro/network/leaky_metrics.py``).
+"""
+
+import time
+
+
+def jitter_seed() -> float:
+    return time.time()

@@ -1,0 +1,24 @@
+"""Fixture: R11 (worker mutates process-global state).
+
+The path mimics the real harness package. ``run_point`` is a worker
+entry point by contract; the append below makes its result depend on
+what else ran in the same pool worker — the cross-talk the serial vs
+process-pool bit-identity guarantee forbids.
+"""
+
+_COMPLETED = []
+
+
+def run_point(config):
+    result = config * 2
+    _COMPLETED.append(result)  # one R11 violation
+    return result
+
+
+def run_chunk(configs):
+    out = []
+    for config in configs:
+        # Suppressed R11: must NOT be reported.
+        _COMPLETED.append(config)  # repro-lint: ignore[R11]
+        out.append(config)
+    return out

@@ -1,0 +1,17 @@
+"""Fixture: R9 (determinism taint through a helper call).
+
+The path mimics the real simulation-code tree so the scoped pass fires.
+``jitter_seed`` looks innocent at this call site — the wall-clock read
+hides one module away, which is exactly what per-function R1 cannot see.
+"""
+
+from ...helpers.clockutil import jitter_seed
+
+
+def observed_latency(samples: list) -> float:
+    return sum(samples) + jitter_seed()  # one R9 violation
+
+
+def audited_latency(samples: list) -> float:
+    # Suppressed R9: must NOT be reported.
+    return sum(samples) + jitter_seed()  # repro-lint: ignore[R9]

@@ -1,0 +1,20 @@
+"""Fixture: R10 (unit/dimension mismatch in energy arithmetic).
+
+The path mimics the real power package so the scoped pass fires. The
+``*_fj`` / ``*_mw`` suffixes declare the dimensions; adding an energy to
+a power is the class of bookkeeping bug the integer-femtojoule ledgers
+made easy to write and impossible to catch numerically.
+"""
+
+
+def total_cost(energy_fj: int, leak_power_mw: float) -> float:
+    return energy_fj + leak_power_mw  # one R10 violation
+
+
+def total_energy(link_fj: int, static_fj: int) -> int:
+    return link_fj + static_fj  # clean: same dimension
+
+
+def mixed_on_purpose(span_cycles: int, budget_fj: int) -> float:
+    # Suppressed R10: must NOT be reported.
+    return span_cycles + budget_fj  # repro-lint: ignore[R10]

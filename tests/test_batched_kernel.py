@@ -75,7 +75,7 @@ class TestGoldenEquivalence:
         configs = knob_variants(policy, reference_config(policy))
         engine = BatchedEngine(configs)
         batched_results = engine.run()
-        for config, result in zip(configs, batched_results):
+        for config, result in zip(configs, batched_results, strict=False):
             assert Simulator(config).run() == result
 
     def test_divergent_history_sweep_splits_and_stays_identical(self):
@@ -94,7 +94,7 @@ class TestGoldenEquivalence:
         results = engine.run()
         assert engine.splits > 0
         assert engine.class_count > 1
-        for config, result in zip(configs, results):
+        for config, result in zip(configs, results, strict=False):
             assert Simulator(config).run() == result
 
     def test_convergent_batch_stays_one_class(self):

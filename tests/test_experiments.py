@@ -11,12 +11,12 @@ import pytest
 from repro.harness.experiments import (
     FigureResult,
     ablation_ewma_weight,
-    fig7_router_power_distribution,
-    fig8_spatial_variance,
-    fig9_temporal_variance,
     fig10_dvs_vs_nodvs,
     fig15_pareto_curve,
     fig16_voltage_transition_sweep,
+    fig7_router_power_distribution,
+    fig8_spatial_variance,
+    fig9_temporal_variance,
     utilization_profiles,
 )
 from repro.harness.scales import SMOKE_SCALE

@@ -5,6 +5,7 @@ import math
 
 import pytest
 
+from repro.core.thresholds import TABLE2_SETTINGS
 from repro.harness.experiments import (
     FigureResult,
     ablation_history_window,
@@ -19,7 +20,6 @@ from repro.harness.experiments import (
     threshold_sweeps,
     workload_comparison,
 )
-from repro.core.thresholds import TABLE2_SETTINGS
 from repro.harness.scales import SMOKE_SCALE
 
 TINY = dataclasses.replace(

@@ -14,8 +14,8 @@ from repro.harness.scales import (
 )
 from repro.harness.serialization import to_json, write_json
 from repro.harness.sweep import (
-    SweepPoint,
     SweepComparison,
+    SweepPoint,
     summarize_comparison,
 )
 from repro.harness.tables import render_table

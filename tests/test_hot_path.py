@@ -196,7 +196,7 @@ class TestLegacyScanToggle:
         ) == sorted(
             (cycle, event[0]) for cycle, event in pure.iter_scheduled_events()
         )
-        for toggled_router, pure_router in zip(toggled.routers, pure.routers):
+        for toggled_router, pure_router in zip(toggled.routers, pure.routers, strict=False):
             assert toggled_router._occ_list == pure_router._occ_list
 
 

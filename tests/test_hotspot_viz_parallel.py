@@ -4,12 +4,12 @@ import collections
 
 import pytest
 
+from repro import viz
 from repro.config import WorkloadConfig
 from repro.errors import ConfigError, ExperimentError, WorkloadError
 from repro.network.simulator import Simulator
 from repro.network.topology import Topology
 from repro.traffic.hotspot import HotspotTraffic
-from repro import viz
 
 from .conftest import small_config
 
@@ -138,7 +138,7 @@ class TestParallelSweeps:
         rates = (0.2, 0.6)
         serial = rate_sweep(config, rates)
         parallel = parallel_rate_sweep(config, rates, processes=2)
-        for s, p in zip(serial, parallel):
+        for s, p in zip(serial, parallel, strict=False):
             assert s.mean_latency == p.mean_latency
             assert s.offered_rate == p.offered_rate
             assert s.normalized_power == p.normalized_power

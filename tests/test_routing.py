@@ -187,7 +187,7 @@ class TestBoundedCaches:
         ]
         assert len(pairs) > 4
         reference = DimensionOrderRouting(Topology(3, 2), 2)
-        for sweep in range(2):  # second sweep re-queries evicted pairs
+        for _sweep in range(2):  # second sweep re-queries evicted pairs
             for src, dst in pairs:
                 assert routing.route_port(src, dst) == (
                     reference._compute_route_port(src, dst)
@@ -213,7 +213,7 @@ class TestBoundedCaches:
             for dst in range(topology.node_count)
             if src != dst
         ]
-        for sweep in range(2):
+        for _sweep in range(2):
             for src, dst in pairs:
                 assert routing.candidates(src, dst) == (
                     reference._compute_candidates(src, dst)

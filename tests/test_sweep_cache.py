@@ -6,6 +6,7 @@ import pickle
 
 import pytest
 
+from repro.cli import main
 from repro.errors import ExperimentError
 from repro.harness import cache as cache_mod
 from repro.harness.backends import ProcessPoolBackend, SerialBackend
@@ -15,7 +16,6 @@ from repro.harness.sweep import (
     require_resumable_cache,
     resume_preview,
 )
-from repro.cli import main
 
 from .conftest import small_config
 

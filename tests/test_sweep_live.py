@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import DVSControlConfig
 from repro.errors import ExperimentError
 from repro.harness.sweep import (
     SweepPoint,
@@ -9,7 +10,6 @@ from repro.harness.sweep import (
     rate_sweep,
     zero_load_latency,
 )
-from repro.config import DVSControlConfig
 
 from .conftest import small_config
 
