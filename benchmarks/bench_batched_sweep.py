@@ -8,11 +8,20 @@ running the scalar kernel once per config. The headline metric is
 **configs/second**; the committed acceptance bar (BENCH_batched_sweep.json)
 is >= 4x configs/sec at batch size 32 versus the scalar loop.
 
-The sweep is chosen to be *convergent*: under saturation every member's
-EWMA-predicted link utilization exceeds every Table 2 step-up threshold,
-so all members issue identical channel effects and the whole batch rides
-one equivalence class (`class_count` is recorded per run as the honesty
-check — a divergent sweep degrades toward 1x, see docs/performance.md).
+The headline sweep is chosen to be *convergent*: under saturation every
+member's EWMA-predicted link utilization exceeds every Table 2 step-up
+threshold, so all members issue identical channel effects and the whole
+batch rides one equivalence class (`class_count` is recorded per run as
+the honesty check).
+
+Two *divergent* sweeps are tracked as first-class rows alongside it — a
+bursty two_level threshold grid and an ewma_weight grid, both of which
+split into multiple equivalence classes mid-run and exercise the
+O(live-state) split clones and class re-merging (`classes`/`splits`/
+`merges` are recorded per row). Their scalar baselines double as a
+bit-identity check: the batched results are compared ``==`` against the
+scalar runs and any mismatch fails the benchmark. See
+docs/performance.md for the honesty table.
 
 Baseline workflow mirrors bench_step_throughput.py::
 
@@ -73,9 +82,9 @@ def sweep_configs(tiny: bool) -> list[SimulationConfig]:
     step-up), while lightly-loaded edge links never leave voltage level 0,
     where step-down and hold are the same no-op. Every member therefore
     issues identical channel effects and the batch rides one equivalence
-    class. A grid straddling the utilization spread instead splits at the
-    very first window (measured: 32 configs -> 22 classes, ~1.4x) — the
-    honest divergent case documented in docs/performance.md.
+    class. Grids that straddle the utilization spread split into classes
+    instead — those are tracked as the first-class divergent rows (see
+    :func:`divergent_scenarios` and docs/performance.md).
     """
     base = SimulationConfig(
         network=NetworkConfig(radix=4 if tiny else 8, dimensions=2),
@@ -110,29 +119,183 @@ def time_scalar_loop(configs: list[SimulationConfig], repeats: int) -> float:
 
 def time_batched(
     configs: list[SimulationConfig], batch_size: int, repeats: int
-) -> tuple[float, int, int]:
+) -> tuple[float, int, int, int]:
     """Best wall time running *configs* in lockstep batches of *batch_size*.
 
-    Returns ``(wall_s, class_count, splits)`` summed over the batches of
-    the best repeat — the class count is the honesty signal: a convergent
-    sweep should report one class per batch.
+    Returns ``(wall_s, class_count, splits, merges)`` summed over the
+    batches of the best repeat — the class count is the honesty signal: a
+    convergent sweep should report one class per batch.
     """
     batches = plan_batches(configs, batch_size)
     best = None
-    best_stats = (0, 0)
+    best_stats = (0, 0, 0)
     for _ in range(repeats):
         start = time.perf_counter()
-        classes = splits = 0
+        classes = splits = merges = 0
         for batch in batches:
             engine = BatchedEngine([configs[i] for i in batch])
             engine.run()
             classes += engine.class_count
             splits += engine.splits
+            merges += engine.merges
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
-            best_stats = (classes, splits)
-    return best, best_stats[0], best_stats[1]
+            best_stats = (classes, splits, merges)
+    return best, *best_stats
+
+
+def time_singleton_paired(
+    configs: list[SimulationConfig], repeats: int
+) -> tuple[float, float, int, int, int]:
+    """Paired scalar-vs-singleton walls for the batch=1 parity row.
+
+    The batch=1 claim is *parity* (the engine bypasses the coordinator
+    for a 1-member batch), and this host's CPU frequency drifts by tens
+    of percent over a multi-minute run — timing the scalar loop minutes
+    before the singleton loop systematically biases the ratio. Pairing
+    the two runs per config and alternating which goes first cancels the
+    drift, the same reasoning as bench_step_throughput's in-process
+    ``legacy_scan`` A/B. Returns
+    ``(scalar_wall_s, batched_wall_s, classes, splits, merges)`` from
+    the repeat with the best batched wall.
+    """
+    best_scalar = best_batched = None
+    best_stats = (0, 0, 0)
+    for _ in range(repeats):
+        scalar_wall = batched_wall = 0.0
+        classes = splits = merges = 0
+        for index, config in enumerate(configs):
+
+            def scalar_run(config=config):
+                start = time.perf_counter()
+                Simulator(config).run()
+                return time.perf_counter() - start
+
+            def batched_run(config=config):
+                nonlocal classes, splits, merges
+                start = time.perf_counter()
+                engine = BatchedEngine([config])
+                engine.run()
+                elapsed = time.perf_counter() - start
+                classes += engine.class_count
+                splits += engine.splits
+                merges += engine.merges
+                return elapsed
+
+            if index % 2 == 0:
+                scalar_wall += scalar_run()
+                batched_wall += batched_run()
+            else:
+                batched_wall += batched_run()
+                scalar_wall += scalar_run()
+        if best_batched is None or batched_wall < best_batched:
+            best_scalar = scalar_wall
+            best_batched = batched_wall
+            best_stats = (classes, splits, merges)
+    return best_scalar, best_batched, *best_stats
+
+
+def divergent_scenarios(tiny: bool) -> dict[str, list[SimulationConfig]]:
+    """Two 32-config sweeps that genuinely diverge into classes mid-run.
+
+    Both ride a bursty single-task two_level workload: bursts split the
+    batch on knob disagreements, the drained gaps between bursts let
+    class states re-converge so the kernel can merge them back. The
+    threshold grid straddles the workload's predicted-utilization range;
+    the ewma grid sweeps the history weight across the paper's span.
+    """
+    link = LinkConfig(
+        voltage_transition_s=0.2e-6, frequency_transition_link_cycles=4
+    )
+    base = SimulationConfig(
+        network=NetworkConfig(radix=4 if tiny else 8, dimensions=2),
+        link=link,
+        dvs=DVSControlConfig(policy="history"),
+        workload=WorkloadConfig(
+            kind="two_level",
+            injection_rate=1.0,
+            seed=3,
+            average_tasks=1,
+            average_task_duration_s=1.0e-6,
+        ),
+        warmup_cycles=200 if tiny else 500,
+        measure_cycles=3_000,
+    )
+    reference = TABLE2_SETTINGS["I"]
+    thresholds = []
+    for step in range(32):
+        low = round(0.1 + 0.02 * step, 4)
+        setting = reference.with_light_load_pair(low, round(low + 0.06, 4))
+        thresholds.append(
+            replace(base, dvs=replace(base.dvs, thresholds=setting))
+        )
+    weights = [
+        replace(base, dvs=replace(base.dvs, ewma_weight=round(0.25 + 0.25 * i, 2)))
+        for i in range(32)
+    ]
+    return {"divergent_threshold": thresholds, "divergent_ewma": weights}
+
+
+def run_divergent(
+    name: str, configs: list[SimulationConfig], repeats: int
+) -> dict:
+    """One divergent sweep: scalar loop vs a single full-width batch.
+
+    The scalar loop's results double as the bit-identity oracle — any
+    ``!=`` between a batched member and its scalar run raises.
+    """
+    count = len(configs)
+    scalar_wall = None
+    scalar_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = [Simulator(config).run() for config in configs]
+        elapsed = time.perf_counter() - start
+        if scalar_wall is None or elapsed < scalar_wall:
+            scalar_wall = elapsed
+        scalar_results = results
+    best = None
+    best_stats = (0, 0, 0)
+    batched_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine = BatchedEngine(list(configs))
+        batched_results = engine.run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            best_stats = (engine.class_count, engine.splits, engine.merges)
+    mismatches = sum(
+        1 for a, b in zip(scalar_results, batched_results, strict=False)
+        if a != b
+    )
+    if mismatches:
+        raise SystemExit(
+            f"FAIL: {name} produced {mismatches} batched-vs-scalar "
+            "mismatches — the kernels must be bit-identical"
+        )
+    classes, splits, merges = best_stats
+    scalar_cps = count / scalar_wall
+    cps = count / best
+    speedup = cps / scalar_cps
+    print(
+        f"{name:20s} scalar {scalar_wall:6.2f} s, batch={count} "
+        f"{best:6.2f} s ({cps:6.2f} configs/s, {speedup:5.2f}x, "
+        f"{classes} classes, {splits} splits, {merges} merges, "
+        "bit-identical)"
+    )
+    return {
+        "configs": count,
+        "scalar_wall_s": round(scalar_wall, 3),
+        "scalar_configs_per_s": round(scalar_cps, 2),
+        "wall_s": round(best, 3),
+        "configs_per_s": round(cps, 2),
+        "speedup_vs_scalar": round(speedup, 3),
+        "classes": classes,
+        "splits": splits,
+        "merges": merges,
+    }
 
 
 def run_matrix(tiny: bool, repeats: int) -> dict:
@@ -146,26 +309,43 @@ def run_matrix(tiny: bool, repeats: int) -> dict:
     )
     rows = {}
     for batch_size in BATCH_SIZES:
-        wall, classes, splits = time_batched(configs, batch_size, repeats)
-        cps = count / wall
-        speedup = cps / scalar_cps
+        if batch_size == 1:
+            # Parity row: paired per-config A/B (see time_singleton_paired)
+            # so the ratio survives this host's frequency drift.
+            paired_scalar, wall, classes, splits, merges = time_singleton_paired(
+                configs, repeats
+            )
+            cps = count / wall
+            speedup = paired_scalar / wall
+        else:
+            wall, classes, splits, merges = time_batched(
+                configs, batch_size, repeats
+            )
+            cps = count / wall
+            speedup = cps / scalar_cps
         rows[str(batch_size)] = {
             "wall_s": round(wall, 3),
             "configs_per_s": round(cps, 2),
             "speedup_vs_scalar": round(speedup, 3),
             "classes": classes,
             "splits": splits,
+            "merges": merges,
         }
         print(
             f"batch={batch_size:3d}   {count} configs in {wall:6.2f} s "
             f"({cps:6.2f} configs/s, {speedup:5.2f}x vs scalar, "
-            f"{classes} classes, {splits} splits)"
+            f"{classes} classes, {splits} splits, {merges} merges)"
         )
+    divergent = {
+        name: run_divergent(name, scenario, repeats)
+        for name, scenario in divergent_scenarios(tiny).items()
+    }
     return {
         "configs": count,
         "scalar_wall_s": round(scalar_wall, 3),
         "scalar_configs_per_s": round(scalar_cps, 2),
         "batches": rows,
+        "divergent": divergent,
     }
 
 
@@ -251,7 +431,18 @@ def write_baseline(matrix: dict, mode: str) -> None:
 def check_regression(
     matrix: dict, baseline_path: Path, mode: str, tolerance: float
 ) -> int:
-    """Fail when configs/sec fell >*tolerance* below baseline at any size."""
+    """Fail when speedup-vs-scalar fell >*tolerance* below baseline.
+
+    The gated quantity is each row's ``speedup_vs_scalar``, not its
+    absolute configs/sec: both kernels run in the same process, so the
+    ratio cancels the CPU-frequency drift that moves absolute wall
+    clock by tens of percent between CI runs on this host (the same
+    reasoning as bench_step_throughput's in-process ``legacy_scan``
+    A/B). A genuine batched-kernel regression still moves the ratio;
+    a slow host day moves numerator and denominator together. Scalar
+    absolute throughput is printed for context but gated by
+    bench_step_throughput, whose scenarios exist for that purpose.
+    """
     if not baseline_path.exists():
         print(f"FAIL: no baseline at {baseline_path}", file=sys.stderr)
         return 1
@@ -266,32 +457,42 @@ def check_regression(
         return 1
     floor = 1.0 - tolerance
     failures = []
-    checks = [("scalar", matrix["scalar_configs_per_s"],
-               entry["scalar_configs_per_s"])]
+    print(
+        f"  scalar       {matrix['scalar_configs_per_s']:8.2f} configs/s "
+        f"vs baseline {entry['scalar_configs_per_s']:8.2f} (context only)"
+    )
+    checks = []
     for size, row in matrix["batches"].items():
         tracked = entry["batches"].get(size)
         if tracked is not None:
             checks.append(
-                (f"batch={size}", row["configs_per_s"],
-                 tracked["configs_per_s"])
+                (f"batch={size}", row["speedup_vs_scalar"],
+                 tracked["speedup_vs_scalar"])
+            )
+    for name, row in matrix.get("divergent", {}).items():
+        tracked = entry.get("divergent", {}).get(name)
+        if tracked is not None:
+            checks.append(
+                (name, row["speedup_vs_scalar"], tracked["speedup_vs_scalar"])
             )
     for name, current, tracked in checks:
         ratio = current / tracked
         marker = "ok" if ratio >= floor else "REGRESSION"
         print(
-            f"  {name:12s} {current:8.2f} configs/s vs baseline "
-            f"{tracked:8.2f} ({ratio:5.2f}x)  {marker}"
+            f"  {name:12s} {current:8.2f}x vs scalar, baseline "
+            f"{tracked:8.2f}x ({ratio:5.2f} of tracked)  {marker}"
         )
         if ratio < floor:
             failures.append((name, ratio))
     if failures:
         print(
-            f"FAIL: configs/sec more than {tolerance:.0%} below baseline on: "
+            f"FAIL: speedup vs scalar more than {tolerance:.0%} below "
+            "baseline on: "
             + ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failures),
             file=sys.stderr,
         )
         return 1
-    print(f"configs/sec within {tolerance:.0%} of baseline at every size")
+    print(f"speedup vs scalar within {tolerance:.0%} of baseline at every size")
     return 0
 
 

@@ -48,8 +48,11 @@ Per-file rules (ported from the original single-file linter):
     line directly above) must not allocate containers, with numpy-aware
     handling for the batched kernel's vectorized hot lane (``np.zeros``
     etc. are flagged; ufunc-style calls are flagged unless they write
-    into a preallocated buffer via ``out=``). Error paths under ``raise``
-    are exempt.
+    into a preallocated buffer via ``out=``). ``copy.deepcopy`` gets its
+    own flavor: deep-copying an engine in a hot function is O(total
+    state) per call — use the snapshot protocol
+    (:func:`repro.network.snapshot.fast_clone`) instead. Error paths
+    under ``raise`` are exempt.
 
 ``R7`` harness-interrupt-safety
     Harness code (``repro/harness/``) must never let a broad handler
@@ -680,6 +683,16 @@ class Linter:
                 stack.extend(node.targets[0].elts)
                 stack.extend(node.value.elts)
                 continue
+            if self._is_deepcopy_call(node):
+                yield Violation(
+                    module.display_path, node.lineno, node.col_offset, "R6",
+                    f"copy.deepcopy() in # repro-hot function {func_name!r} "
+                    "is O(total state) per call; use the snapshot protocol "
+                    "(repro.network.snapshot.fast_clone) or copy only the "
+                    "mutable fields",
+                )
+                stack.extend(ast.iter_child_nodes(node))
+                continue
             message = self._r6_allocation_message(node)
             if message is not None:
                 yield Violation(
@@ -689,6 +702,13 @@ class Linter:
                     "pooled/preallocated container",
                 )
             stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_deepcopy_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = dotted_name(node.func)
+        return name in ("copy.deepcopy", "deepcopy")
 
     @staticmethod
     def _r6_allocation_message(node: ast.AST) -> str | None:

@@ -323,6 +323,21 @@ def _parse_rates(raw: str) -> tuple[float, ...]:
     return rates
 
 
+def _kernel_progress(line: str) -> None:
+    """Live divergence reporting for ``--kernel batched`` campaigns."""
+    print(f"[batched] {line}", file=sys.stderr)
+
+
+def _campaign_backend(args: argparse.Namespace):
+    kernel = getattr(args, "kernel", "scalar")
+    return make_backend(
+        args.processes,
+        retry=_retry_policy(args),
+        kernel=kernel,
+        progress=_kernel_progress if kernel == "batched" else None,
+    )
+
+
 def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
     """A RetryPolicy from --retries/--timeout, or None for the default."""
     if args.retries is None and args.timeout is None:
@@ -363,8 +378,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base,
         rates,
         {baseline_name: baseline_dvs, dvs_name: dvs_dvs},
-        backend=make_backend(args.processes, retry=_retry_policy(args),
-                             kernel=getattr(args, "kernel", "scalar")),
+        backend=_campaign_backend(args),
         resume=args.resume,
         failures=report,
     )
@@ -445,8 +459,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         base,
         rates,
         policies,
-        backend=make_backend(args.processes, retry=_retry_policy(args),
-                             kernel=getattr(args, "kernel", "scalar")),
+        backend=_campaign_backend(args),
         resume=args.resume,
         failures=report,
     )

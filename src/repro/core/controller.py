@@ -14,9 +14,15 @@ history window of ``H`` router cycles it:
    machine to move one level. Requests during an in-flight transition are
    dropped by the channel and simply retried at a later window.
 
-Both counters are cumulative on the producer side; the controller
-differences them against its own last reading so that profiling probes can
-observe the same counters without interference.
+The occupancy counter is cumulative on the producer side; the controller
+differences it against its own last reading so that profiling probes can
+observe the same counter without interference (the increments are
+integer-valued floats, so the subtraction is exact). Busy time instead
+uses the channel's reset-based ``busy_window`` accumulator: a window's
+utilization is then computed from the same float increments whatever the
+channel's earlier history — the base-independence the batched kernel's
+class re-merging relies on (profilers still have the cumulative
+``busy_cycles_total`` alongside it).
 
 The controller is deliberately thin: all prediction state lives in the
 policy, all transition state in the channel, so each piece is independently
@@ -58,7 +64,6 @@ class PortDVSController:
         "requests_dropped",
         "last_link_utilization",
         "last_buffer_utilization",
-        "_last_busy_total",
         "_last_occupancy_integral",
     )
 
@@ -85,14 +90,17 @@ class PortDVSController:
         self.requests_dropped = 0
         self.last_link_utilization = 0.0
         self.last_buffer_utilization = 0.0
-        self._last_busy_total = 0.0
         self._last_occupancy_integral = 0.0
 
     def close_window(self, now: int) -> DVSAction:
         """Evaluate one history window ending at router cycle *now*."""
-        busy_total = self.channel.busy_cycles_total
-        busy = busy_total - self._last_busy_total
-        self._last_busy_total = busy_total
+        channel = self.channel
+        # Sync energy accrual to the window boundary so every engine —
+        # scalar or batched, whatever it did between boundaries — holds
+        # the channel at the same quantization point here.
+        channel.finalize(now)
+        busy = channel.busy_window
+        channel.busy_window = 0.0
         link_utilization = min(1.0, busy / self.window_cycles)
 
         occupancy_total = self.occupancy_source.cumulative_integral(now)
@@ -105,7 +113,6 @@ class PortDVSController:
         self.last_link_utilization = link_utilization
         self.last_buffer_utilization = buffer_utilization
 
-        channel = self.channel
         asleep = channel.sleeping
         action = self.policy.decide(
             PolicyInputs(

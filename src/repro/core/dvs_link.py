@@ -23,6 +23,16 @@ The channel also owns its own energy bookkeeping: steady-state power is
 integrated over time at the phase-appropriate level (conservatively, the
 *higher* of the two voltages during a ramp) and each voltage ramp is
 charged the regulator overhead of paper Eq. (1).
+
+Energy accumulators are **integer femtojoules**: every accrual converts
+its float joule increment once through
+:func:`repro.units.joules_to_femtojoules` and then adds integers. Integer
+addition is associative, so two channels that accrued the same increments
+in different groupings hold *exactly* equal totals — the property the
+batched sweep kernel's class re-merging relies on (a re-merged member's
+energy is reconstructed as ``survivor_total + integer_offset``, which is
+only exact because no float rounding depends on the accumulation base).
+The float ``*_energy_j`` views remain as derived properties.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ConfigError, LinkStateError
-from ..units import seconds_to_cycles
+from ..units import femtojoules_to_joules, joules_to_femtojoules, seconds_to_cycles
 from .levels import VFOperatingPoint, VFTable
 from .power_model import LinkPowerModel, RegulatorModel
 
@@ -120,10 +130,11 @@ class DVSChannel:
         "locked",
         "busy_until",
         "busy_cycles_total",
+        "busy_window",
         "flits_sent",
         "transition_count",
-        "transition_energy_j",
-        "link_energy_j",
+        "transition_energy_fj",
+        "link_energy_fj",
         "dead_cycles",
         "_power_w",
         "_last_energy_cycle",
@@ -136,7 +147,7 @@ class DVSChannel:
         "sleep_count",
         "sleep_cycles",
         "replay_count",
-        "replay_energy_j",
+        "replay_energy_fj",
         "_sleep_lockout_until",
         "_sleep_started_cycle",
         "_wake_duration",
@@ -187,10 +198,16 @@ class DVSChannel:
 
         self.busy_until = 0.0
         self.busy_cycles_total = 0.0
+        #: Busy time accrued since the owning controller's last window
+        #: close (the controller reads and zeroes it). Reset-based rather
+        #: than differenced so a window's utilization is computed from the
+        #: same float increments whatever the channel's earlier history —
+        #: the exactness the batched kernel's class re-merging needs.
+        self.busy_window = 0.0
         self.flits_sent = 0
         self.transition_count = 0
-        self.transition_energy_j = 0.0
-        self.link_energy_j = 0.0
+        self.transition_energy_fj = 0
+        self.link_energy_fj = 0
         self.dead_cycles = 0
         self._power_w = self._steady_power_w(level)
         self._last_energy_cycle = 0
@@ -212,7 +229,7 @@ class DVSChannel:
         self.sleep_cycles = 0
         #: Razor-style replay bookkeeping (see :meth:`charge_replay`).
         self.replay_count = 0
-        self.replay_energy_j = 0.0
+        self.replay_energy_fj = 0
         self._sleep_lockout_until = 0
         self._sleep_started_cycle = 0
         self._wake_duration = 0
@@ -265,9 +282,29 @@ class DVSChannel:
         return self._power_w
 
     @property
+    def link_energy_j(self) -> float:
+        """Integrated level-based link energy in joules (float view)."""
+        return femtojoules_to_joules(self.link_energy_fj)
+
+    @property
+    def transition_energy_j(self) -> float:
+        """Regulator transition overhead energy in joules (float view)."""
+        return femtojoules_to_joules(self.transition_energy_fj)
+
+    @property
+    def replay_energy_j(self) -> float:
+        """Replay retransmission energy in joules (float view)."""
+        return femtojoules_to_joules(self.replay_energy_fj)
+
+    @property
+    def total_energy_fj(self) -> int:
+        """Link plus transition energy, exact integer femtojoules."""
+        return self.link_energy_fj + self.transition_energy_fj
+
+    @property
     def total_energy_j(self) -> float:
         """Link energy integrated so far plus regulator transition overheads."""
-        return self.link_energy_j + self.transition_energy_j
+        return femtojoules_to_joules(self.total_energy_fj)
 
     # ------------------------------------------------------------------
     # Commands
@@ -317,8 +354,10 @@ class DVSChannel:
         if not self.sleep_permitted(now):
             return False
         self._accrue_energy(now)
-        self.transition_energy_j += self.regulator.transition_energy_j(
-            self.table.voltage(0), self.retention_voltage_v
+        self.transition_energy_fj += joules_to_femtojoules(
+            self.regulator.transition_energy_j(
+                self.table.voltage(0), self.retention_voltage_v
+            )
         )
         self.transition_count += 1
         self.sleep_count += 1
@@ -345,8 +384,10 @@ class DVSChannel:
             return False
         self._accrue_energy(now)
         self.sleep_cycles += now - self._sleep_started_cycle
-        self.transition_energy_j += self.regulator.transition_energy_j(
-            self.retention_voltage_v, self.table.voltage(0)
+        self.transition_energy_fj += joules_to_femtojoules(
+            self.regulator.transition_energy_j(
+                self.retention_voltage_v, self.table.voltage(0)
+            )
         )
         self.transition_count += 1
         self._phase = ChannelPhase.WAKE
@@ -451,6 +492,7 @@ class DVSChannel:
         occupancy = self._serialization_cycles
         self.busy_until = start + occupancy
         self.busy_cycles_total += occupancy
+        self.busy_window += occupancy
         self.flits_sent += 1
         return self.busy_until
 
@@ -469,10 +511,13 @@ class DVSChannel:
         start = self.busy_until if self.busy_until > now else now
         self.busy_until = start + occupancy
         self.busy_cycles_total += occupancy
+        self.busy_window += occupancy
         self.replay_count += flits
-        energy = self._power_w * (occupancy / self.router_clock_hz)
-        self.replay_energy_j += energy
-        self.link_energy_j += energy
+        energy_fj = joules_to_femtojoules(
+            self._power_w * (occupancy / self.router_clock_hz)
+        )
+        self.replay_energy_fj += energy_fj
+        self.link_energy_fj += energy_fj
 
     # ------------------------------------------------------------------
     # Energy
@@ -516,7 +561,9 @@ class DVSChannel:
             )
         elapsed = now - self._last_energy_cycle
         if elapsed:
-            self.link_energy_j += self._power_w * (elapsed / self.router_clock_hz)
+            self.link_energy_fj += joules_to_femtojoules(
+                self._power_w * (elapsed / self.router_clock_hz)
+            )
             self._last_energy_cycle = now
 
     def _begin_step(self, now: int) -> None:
@@ -548,8 +595,8 @@ class DVSChannel:
             high_level = self._voltage_level
             low_voltage = self.table.voltage(self._level)
             high_voltage = self.table.voltage(self._voltage_level)
-        self.transition_energy_j += self.regulator.transition_energy_j(
-            low_voltage, high_voltage
+        self.transition_energy_fj += joules_to_femtojoules(
+            self.regulator.transition_energy_j(low_voltage, high_voltage)
         )
         self.transition_count += 1
         # Bill the ramp at the higher level's power point, at the frequency

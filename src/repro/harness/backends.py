@@ -44,7 +44,13 @@ from typing import Iterable, Iterator, Optional, cast
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
-from ..network.batched import DEFAULT_MAX_BATCH, BatchedEngine, plan_batches, require_numpy
+from ..network.batched import (
+    DEFAULT_MAX_BATCH,
+    BatchedEngine,
+    DivergenceOverflow,
+    plan_batches,
+    require_numpy,
+)
 from ..network.simulator import SimulationResult
 from .cache import SweepCache, get_cache
 from .resilience import (
@@ -124,10 +130,16 @@ class SerialBackend(ExecutionBackend):
 
 @dataclass
 class _Chunk:
-    """One submitted work unit: a slice of configs plus their positions."""
+    """One submitted work unit: a slice of configs plus their positions.
+
+    ``allow_fanout`` is cleared on chunks born from a
+    :class:`FanoutRequest` so a diverging batch fans out at most once —
+    the sub-batches run unbudgeted rather than recursing.
+    """
 
     configs: list[SimulationConfig]
     indices: list[int]
+    allow_fanout: bool = True
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -225,20 +237,24 @@ class ProcessPoolBackend(ExecutionBackend):
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 lost: list[_Chunk] = []
+                followups: list[_Chunk] = []
                 for future in done:
                     self._settle(future, pending.pop(future), results, report,
-                                 cache, lost)
+                                 cache, lost, followups)
                 if not lost:
+                    for chunk in followups:
+                        pending[self._submit(pool, chunk)] = chunk
                     continue
                 # The pool is broken: every other in-flight future dies
                 # with it (already-finished ones still return fine).
                 for future, chunk in list(pending.items()):
-                    self._settle(future, chunk, results, report, cache, lost)
+                    self._settle(future, chunk, results, report, cache, lost,
+                                 followups)
                 pending.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
                 respawns += 1
                 if respawns > self.max_pool_respawns:
-                    for chunk in lost:
+                    for chunk in lost + followups:
                         self._fail_chunk(
                             chunk, report, outcome="worker-crash",
                             attempts=respawns,
@@ -263,6 +279,8 @@ class ProcessPoolBackend(ExecutionBackend):
                             points=len(chunk.configs),
                         )
                     )
+                    pending[self._submit(pool, chunk)] = chunk
+                for chunk in followups:
                     pending[self._submit(pool, chunk)] = chunk
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -297,6 +315,7 @@ class ProcessPoolBackend(ExecutionBackend):
         report: FailureReport,
         cache: Optional[SweepCache],
         lost: list[_Chunk],
+        followups: list[_Chunk],
     ) -> None:
         """Fold one finished future into results/report (or mark it lost)."""
         try:
@@ -313,7 +332,21 @@ class ProcessPoolBackend(ExecutionBackend):
                 chunk, report, outcome="executor", attempts=1, error=repr(exc)
             )
             return
+        fanned = self._fan_out(chunk, payload, report)
+        if fanned is not None:
+            followups.extend(fanned)
+            return
         self._fold(chunk, payload, results, report, cache)
+
+    def _fan_out(
+        self, chunk: _Chunk, payload, report: FailureReport
+    ) -> Optional[list[_Chunk]]:
+        """Turn a :class:`FanoutRequest` payload into follow-up chunks.
+
+        The scalar worker never fans out; :class:`BatchedBackend`
+        overrides this to split diverging batches across the pool.
+        """
+        return None
 
     def _unpack(self, payload) -> tuple[list, Iterable[PointFailure]]:
         """Split a worker payload into per-point outcomes plus any
@@ -371,19 +404,43 @@ class ProcessPoolBackend(ExecutionBackend):
         )
 
 
+@dataclass
+class FanoutRequest:
+    """Worker verdict: this batch diverged past its ``max_classes`` budget.
+
+    ``groups`` holds member-index lists, one per equivalence class at the
+    moment the budget was exceeded. Members of one group were still
+    lockstep-identical then, so re-running each group as its own
+    (unbudgeted) batch preserves most of the sharing the overflowing
+    batch had — and the coordinator can spread the groups across pool
+    workers instead of stepping every class serially in one process.
+    """
+
+    groups: list[list[int]]
+
+
 def run_config_batch(
-    configs: list[SimulationConfig], retry: RetryPolicy
-) -> tuple[
-    list[tuple[Optional[SimulationResult], Optional[PointFailure]]],
-    list[PointFailure],
-]:
+    configs: list[SimulationConfig],
+    retry: RetryPolicy,
+    *,
+    max_classes: int | None = None,
+) -> (
+    tuple[
+        list[tuple[Optional[SimulationResult], Optional[PointFailure]]],
+        list[PointFailure],
+        Optional[dict],
+    ]
+    | FanoutRequest
+):
     """Worker for :class:`BatchedBackend`: one lockstep batch, scalar fallback.
 
-    Returns ``(outcomes, incidents)``: *outcomes* matches
-    :func:`~repro.harness.resilience.run_chunk`'s per-point shape, and
-    *incidents* carries batch-level recovered events. The batch must share
-    a compatibility key (the planner guarantees it). Fallbacks to the
-    scalar per-point path, which owns the PR-5 retry/timeout/chaos
+    Returns ``(outcomes, incidents, stats)``: *outcomes* matches
+    :func:`~repro.harness.resilience.run_chunk`'s per-point shape,
+    *incidents* carries batch-level recovered events, and *stats* is the
+    kernel's divergence report (``members``/``classes``/``splits``/
+    ``merges``) or ``None`` when the batch ran scalar. The batch must
+    share a compatibility key (the planner guarantees it). Falls back to
+    the scalar per-point path, which owns the PR-5 retry/timeout/chaos
     machinery:
 
     * single-member batches (nothing to amortize);
@@ -394,15 +451,29 @@ def run_config_batch(
       incident — and every member retried scalar, so a poisoned batch
       degrades to the scalar kernel's semantics instead of losing points.
 
+    With *max_classes* set, a batch that diverges past the budget returns
+    a :class:`FanoutRequest` instead of outcomes (caught **before** the
+    eviction handler — overflow is a scheduling verdict, not a fault);
+    the coordinator re-runs the class-aligned groups as sub-batches.
+
     Top-level (picklable) so pool workers can import it.
     """
     incidents: list[PointFailure] = []
     if len(configs) > 1 and not _sanitize_from_env():
         try:
-            results = BatchedEngine(list(configs)).run()
-            return [(result, None) for result in results], incidents
+            engine = BatchedEngine(list(configs), max_classes=max_classes)
+            results = engine.run()
+            stats = {
+                "members": len(configs),
+                "classes": engine.class_count,
+                "splits": engine.splits,
+                "merges": engine.merges,
+            }
+            return [(result, None) for result in results], incidents, stats
         except (KeyboardInterrupt, SystemExit):
             raise
+        except DivergenceOverflow as exc:
+            return FanoutRequest(groups=exc.groups)
         except Exception as exc:
             incidents.append(
                 PointFailure(
@@ -417,7 +488,7 @@ def run_config_batch(
     outcomes = [
         run_point(config, retry, runner=run_simulation) for config in configs
     ]
-    return outcomes, incidents
+    return outcomes, incidents, None
 
 
 class BatchedBackend(ProcessPoolBackend):
@@ -436,6 +507,18 @@ class BatchedBackend(ProcessPoolBackend):
     batch results are bit-identical to scalar runs and batch planning is
     deterministic, this backend's outputs equal the scalar backends'
     point for point.
+
+    ``fanout_classes`` budgets divergence per batch: a batch whose class
+    count exceeds it is re-run as class-aligned sub-batches (see
+    :class:`FanoutRequest`), which a multi-process pool steps in
+    parallel. Defaults to ``processes`` when pooled, off (``None``) for
+    in-process runs, where serializing the classes in one engine is
+    strictly cheaper than re-running groups. Fan-out replays the
+    overflowing batch's prefix, so results stay bit-identical either way.
+
+    ``progress`` (a callable taking one line of text) receives a live
+    ``classes=… splits=… merges=…`` line per completed batch; the CLI
+    points it at stderr for ``--kernel batched`` sweeps.
     """
 
     def __init__(
@@ -445,6 +528,8 @@ class BatchedBackend(ProcessPoolBackend):
         chunksize: int | None = None,
         retry: Optional[RetryPolicy] = None,
         max_pool_respawns: int = 3,
+        fanout_classes: int | None = None,
+        progress=None,
     ) -> None:
         require_numpy()
         super().__init__(
@@ -453,6 +538,15 @@ class BatchedBackend(ProcessPoolBackend):
             retry=retry,
             max_pool_respawns=max_pool_respawns,
         )
+        if fanout_classes is not None and fanout_classes < 1:
+            raise ExperimentError("fanout_classes must be positive")
+        if fanout_classes is None and processes > 1:
+            fanout_classes = processes
+        self.fanout_classes = fanout_classes
+        self.progress = progress
+        self.kernel_stats = {
+            "batches": 0, "classes": 0, "splits": 0, "merges": 0, "fanouts": 0,
+        }
 
     @property
     def max_batch(self) -> int:
@@ -467,11 +561,59 @@ class BatchedBackend(ProcessPoolBackend):
             )
 
     def _submit(self, pool: ProcessPoolExecutor, chunk: _Chunk) -> Future:
-        return pool.submit(run_config_batch, chunk.configs, self.retry)
+        max_classes = self.fanout_classes if chunk.allow_fanout else None
+        return pool.submit(
+            run_config_batch, chunk.configs, self.retry,
+            max_classes=max_classes,
+        )
 
     def _unpack(self, payload) -> tuple[list, Iterable[PointFailure]]:
-        outcomes, incidents = payload
+        outcomes, incidents, stats = payload
+        if stats is not None:
+            self.kernel_stats["batches"] += 1
+            for key in ("classes", "splits", "merges"):
+                self.kernel_stats[key] += stats[key]
+            if self.progress is not None:
+                self.progress(
+                    f"batch of {stats['members']}: "
+                    f"classes={stats['classes']} splits={stats['splits']} "
+                    f"merges={stats['merges']}"
+                )
         return outcomes, incidents
+
+    def _fan_out(
+        self, chunk: _Chunk, payload, report: FailureReport
+    ) -> Optional[list[_Chunk]]:
+        if not isinstance(payload, FanoutRequest):
+            return None
+        self.kernel_stats["fanouts"] += 1
+        report.record(
+            PointFailure(
+                fingerprint=chunk.configs[0].fingerprint(),
+                outcome="batch-fanout",
+                attempts=1,
+                error=(
+                    f"batch diverged past {self.fanout_classes} classes; "
+                    f"re-running as {len(payload.groups)} class-aligned "
+                    "sub-batches"
+                ),
+                recovered=True,
+                points=len(chunk.configs),
+            )
+        )
+        if self.progress is not None:
+            self.progress(
+                f"fan-out: {len(chunk.configs)}-member batch split into "
+                f"{len(payload.groups)} sub-batches"
+            )
+        return [
+            _Chunk(
+                [chunk.configs[i] for i in group],
+                [chunk.indices[i] for i in group],
+                allow_fanout=False,
+            )
+            for group in payload.groups
+        ]
 
     def _run_inline(
         self,
@@ -481,8 +623,17 @@ class BatchedBackend(ProcessPoolBackend):
         report: FailureReport,
         cache: Optional[SweepCache],
     ) -> None:
-        for chunk in self._chunks(configs, indices):
-            payload = run_config_batch(chunk.configs, self.retry)
+        worklist = list(self._chunks(configs, indices))
+        while worklist:
+            chunk = worklist.pop(0)
+            max_classes = self.fanout_classes if chunk.allow_fanout else None
+            payload = run_config_batch(
+                chunk.configs, self.retry, max_classes=max_classes
+            )
+            fanned = self._fan_out(chunk, payload, report)
+            if fanned is not None:
+                worklist.extend(fanned)
+                continue
             self._fold(chunk, payload, results, report, cache)
 
     def __repr__(self) -> str:
@@ -498,11 +649,14 @@ def make_backend(
     chunksize: int | None = None,
     retry: Optional[RetryPolicy] = None,
     kernel: str = "scalar",
+    progress=None,
 ) -> ExecutionBackend:
     """Backend for *processes* workers (``None``/``0``/``1`` = serial).
 
     ``kernel="batched"`` selects :class:`BatchedBackend` — the lockstep
     sweep kernel — at any process count (1 means in-process batches).
+    *progress* is the batched kernel's live divergence reporter; scalar
+    backends have no per-batch stats and ignore it.
     """
     if processes is not None and processes < 0:
         raise ExperimentError("process count cannot be negative")
@@ -511,7 +665,9 @@ def make_backend(
             f"unknown kernel {kernel!r}: expected 'scalar' or 'batched'"
         )
     if kernel == "batched":
-        return BatchedBackend(processes or 1, chunksize=chunksize, retry=retry)
+        return BatchedBackend(
+            processes or 1, chunksize=chunksize, retry=retry, progress=progress
+        )
     if not processes or processes == 1:
         return SerialBackend(retry=retry)
     return ProcessPoolBackend(processes, chunksize=chunksize, retry=retry)

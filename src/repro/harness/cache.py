@@ -60,7 +60,7 @@ CACHE_ENV = "REPRO_CACHE"
 
 #: Name of the current simulated semantics. Bump on any change that
 #: alters simulation output for an unchanged config.
-CODE_EPOCH = "pr2-event-horizon"
+CODE_EPOCH = "pr9-integer-femtojoule-energy"
 
 _DISABLE_VALUES = frozenset({"0", "off", "no", "none", "disabled", "false"})
 

@@ -9,16 +9,24 @@ when a window closes (every ``H`` cycles), so two configs whose policies
 have issued the same channel commands so far occupy bit-identical
 simulator states. This kernel exploits that:
 
-* **Equivalence classes.** The batch starts as one class: a single scalar
-  :class:`~repro.network.simulator.Simulator` carrying every member. At
-  each history-window boundary the coordinator computes the per-member
-  policy decisions, canonicalizes them to *channel effects* (a dropped
-  request and a HOLD are the same effect), and splits the class only when
-  members' effects genuinely differ — via ``copy.deepcopy`` of the class
-  engine at the boundary, the one cycle where the engines diverge. A
-  sweep whose members converge (e.g. a saturated network where every
-  threshold setting selects the shared congested pair) runs N configs for
-  nearly the price of one.
+* **Equivalence classes, split AND re-merged.** The batch starts as one
+  class: a single scalar :class:`~repro.network.simulator.Simulator`
+  carrying every member. At each history-window boundary the coordinator
+  computes the per-member policy decisions, canonicalizes them to
+  *channel effects* (a dropped request and a HOLD are the same effect),
+  and splits the class only when members' effects genuinely differ — via
+  :func:`~repro.network.snapshot.fast_clone`, an O(live-state) snapshot
+  that shares everything immutable and copies only mutable simulation
+  state. Classes advance in **lockstep** (all at the same cycle), and at
+  every boundary the coordinator compares
+  :func:`~repro.network.snapshot.state_digest` fingerprints: classes
+  whose states re-converged (thresholds briefly disagreed, then both
+  settled at the same level) coalesce back into one, with the per-member
+  integer result corrections described below. A sweep whose members
+  converge (e.g. a saturated network where every threshold setting
+  selects the shared congested pair) runs N configs for nearly the price
+  of one — and a sweep that diverges transiently pays only for the
+  divergent stretch, not for the rest of the run.
 
 * **Structure-of-arrays coordinator state.** Per-member bookkeeping that
   the shared engines cannot carry lives in numpy arrays indexed
@@ -29,6 +37,19 @@ simulator states. This kernel exploits that:
   energy ledger (:meth:`BatchedEngine.member_energy_femtojoules`;
   integer addition commutes, so per-member energy sums are exact — see
   :func:`repro.units.joules_to_femtojoules`).
+
+* **Exact merge corrections.** Re-merging members whose *histories*
+  differ requires per-member result reconstruction: when class B is
+  absorbed into digest-equal class A, every member of B records the
+  frame shift ``B_totals - A_totals`` for each integer accumulator
+  (per-channel link/transition femtojoules, transition count, ejected
+  packets) and splices B's latency samples collected since the member
+  joined B into a per-member prefix list. Because the accumulators are
+  exact integers (and the latency summary depends only on the sample
+  *multiset*), a member's reconstructed measurement —
+  ``class_end + correction - member_start`` fed through
+  :func:`~repro.power.accounting.derive_report` — is bit-identical to
+  its scalar run, merges or none.
 
 * **Bit-identity by construction.** The class engines run the *unmodified*
   scalar kernel; the only seam is a puppet policy
@@ -53,7 +74,6 @@ clear, actionable error before any sweep work starts (never a raw
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 
 from ..config import SimulationConfig
@@ -61,8 +81,10 @@ from ..core.policy import DVSAction, DVSPolicy, PolicyInputs
 from ..core.registry import PolicyBuildContext, build_policy, knob_values
 from ..core.thresholds import TABLE1_DEFAULT
 from ..errors import ConfigError, SimulationError
-from ..units import joules_to_femtojoules
+from ..metrics.latency import LatencyCollector
+from ..power.accounting import derive_report
 from .simulator import SimulationResult, Simulator
+from .snapshot import fast_clone, state_digest
 
 try:  # pragma: no cover - exercised via require_numpy tests
     import numpy as _np
@@ -192,6 +214,24 @@ class _PuppetPolicy(DVSPolicy):
         return flits
 
 
+class DivergenceOverflow(Exception):
+    """A batch's class count exceeded its ``max_classes`` budget.
+
+    Raised by :meth:`BatchedEngine.run` mid-run (the class engines are
+    abandoned); carries the member-index groups of the offending class
+    partition so a backend can *fan out* — resubmit each group as its own
+    smaller batch, typically to separate worker processes. Members that
+    diverged together stay together, so each resubmitted group replays its
+    shared decision prefix in lockstep.
+    """
+
+    def __init__(self, groups: list[list[int]]):
+        super().__init__(
+            f"batch diverged into {len(groups)} equivalence classes"
+        )
+        self.groups = groups
+
+
 class _ClassState:
     """One equivalence class: a scalar engine plus the members riding it."""
 
@@ -234,12 +274,15 @@ class BatchedEngine:
         configs: list[SimulationConfig],
         *,
         sanitize: bool = False,
+        max_classes: int | None = None,
     ):
         np = require_numpy()
         self._np = np
         configs = list(configs)
         if not configs:
             raise ConfigError("batched engine needs at least one config")
+        if max_classes is not None and max_classes < 1:
+            raise ConfigError("max_classes must be positive")
         key = compatibility_key(configs[0])
         for config in configs[1:]:
             if compatibility_key(config) != key:
@@ -257,6 +300,9 @@ class BatchedEngine:
         self._measure = first.measure_cycles
         self._dvs_enabled = first.dvs.enabled
         self._finished = False
+        #: Class-count budget; exceeding it raises DivergenceOverflow so a
+        #: backend can fan the groups out across workers. None = unlimited.
+        self._max_classes = max_classes
 
         root = Simulator(first, sanitize=sanitize)
         self._n_channels = len(root.channels)
@@ -269,13 +315,41 @@ class BatchedEngine:
         #: that reaches SimulationResult; the class engines' own counters
         #: follow the canonical member and are discarded).
         self._drops = np.zeros(members, dtype=np.int64)
-        #: Integer-femtojoule per-link energy ledger, snapshotted from the
-        #: class channels at finish (identical for every member of a
-        #: class, exact under integer summation).
+        #: Integer-femtojoule per-link energy ledger, reconstructed per
+        #: member at finish (class totals plus merge corrections, exact
+        #: under integer summation).
         self._energy_fj = np.zeros((members, channels), dtype=np.int64)
         #: Diagnostics for the bench / docs honesty tables.
         self.splits = 0
+        self.merges = 0
         self.boundaries = 0
+
+        # Merge-correction frame shifts: a member's true accumulator total
+        # is its class's total plus these (see the module docstring).
+        # Per-channel femtojoule corrections are [member, channel]; the
+        # rest are scalars per member. Latency is carried as a per-member
+        # prefix list plus an index into the class's sample list (the
+        # samples from that index on are the member's own).
+        self._corr_link_fj = np.zeros((members, channels), dtype=np.int64)
+        self._corr_trans_fj = np.zeros((members, channels), dtype=np.int64)
+        self._corr_trans_count = np.zeros(members, dtype=np.int64)
+        self._corr_offered = np.zeros(members, dtype=np.int64)
+        self._corr_ejected = np.zeros(members, dtype=np.int64)
+        self._lat_prefix: list[list[int]] = [[] for _ in range(members)]
+        self._lat_from = [0] * members
+        # Per-member measurement-start snapshots (captured after
+        # begin_measurement; class begin totals plus corrections then).
+        self._start_link_fj = np.zeros((members, channels), dtype=np.int64)
+        self._start_trans_fj = np.zeros((members, channels), dtype=np.int64)
+        self._start_trans_count = np.zeros(members, dtype=np.int64)
+
+        # A 1-member batch needs no coordinator: no puppets, no decision
+        # lanes — run() drives the root scalar engine natively (its real
+        # policies stay installed), making batch=1 exactly a scalar run.
+        if members == 1:
+            self._vector_lane = False
+            self._classes = [_ClassState(root, [0], [])]
+            return
 
         self._vector_lane = self._dvs_enabled and first.dvs.policy == "history"
         self._member_policies: list[list[DVSPolicy]] = []
@@ -374,47 +448,179 @@ class BatchedEngine:
         if self._finished:
             raise SimulationError("BatchedEngine.run() may only be called once")
         self._finished = True
+        if self.n_members == 1:
+            # Coordinator bypass: the root engine still carries its real
+            # policies (no puppets were installed), so this is literally a
+            # scalar run — same objects, same code path, same bits.
+            engine = self._classes[0].engine
+            result = engine.run()
+            now = engine.now
+            energy = self._energy_fj
+            for j, channel in enumerate(engine.channels):
+                dvs = channel.dvs
+                dvs.finalize(now)
+                energy[0, j] = dvs.total_energy_fj
+            self._drops[0] = result.requests_dropped
+            return [result]
         self._advance_phase(self._warmup)
         for cls in self._classes:
             cls.engine.begin_measurement()
+        self._begin_ledger()
         self._advance_phase(self._warmup + self._measure)
         return self._finish()
+
+    def _begin_ledger(self) -> None:
+        """Snapshot every member's measurement-phase starting totals.
+
+        Called right after ``begin_measurement`` (which finalizes channel
+        energy to the boundary): a member's start is its class's begin
+        totals plus any warmup-merge corrections. The meter-scope
+        corrections (ejected/offered/latency) reset here, mirroring the
+        meter reset inside ``begin_measurement``.
+        """
+        np = self._np
+        self._corr_offered[:] = 0
+        self._corr_ejected[:] = 0
+        members = self.n_members
+        self._lat_prefix = [[] for _ in range(members)]
+        self._lat_from = [0] * members
+        for cls in self._classes:
+            channels = cls.engine.channels
+            link = np.array(
+                [channel.dvs.link_energy_fj for channel in channels],
+                dtype=np.int64,
+            )
+            trans = np.array(
+                [channel.dvs.transition_energy_fj for channel in channels],
+                dtype=np.int64,
+            )
+            count = sum(channel.dvs.transition_count for channel in channels)
+            rows = np.asarray(cls.members, dtype=np.intp)
+            self._start_link_fj[rows] = link + self._corr_link_fj[rows]
+            self._start_trans_fj[rows] = trans + self._corr_trans_fj[rows]
+            self._start_trans_count[rows] = count + self._corr_trans_count[rows]
 
     # -- the boundary loop -------------------------------------------------
 
     def _advance_phase(self, end: int) -> None:
-        """Advance every class to cycle *end*, intercepting boundaries.
+        """Advance every class to cycle *end* in lockstep, boundary by
+        boundary.
 
-        Classes are mutually independent, so each is driven to *end* in
-        turn; classes born from mid-phase splits join the queue at their
-        creation cycle. A window boundary at exactly *end* belongs to the
-        next phase (it closes inside ``step(end)``), matching the scalar
-        kernel's phasing.
+        All classes share ``now`` at every point of this loop (splits run
+        their boundary step at birth, landing on the same cycle as their
+        parent), which is what makes boundary-time state digests
+        comparable: re-merging coalesces classes whose states reconverged
+        *at the same cycle*. A window boundary at exactly *end* belongs to
+        the next phase (it closes inside ``step(end)``), matching the
+        scalar kernel's phasing.
         """
         if not self._dvs_enabled:
             for cls in self._classes:
                 cls.engine.run_until(end)
             return
         window = self._history_window
-        queue = list(self._classes)
-        while queue:
-            cls = queue.pop()
-            engine = cls.engine
-            while True:
-                now = engine.now
-                if now == 0:
-                    boundary = window
-                elif now % window == 0:
-                    # The boundary at `now` is still pending: it closes
-                    # inside step(now), which has not run yet.
-                    boundary = now
-                else:
-                    boundary = now + (window - now % window)
-                if boundary >= end:
-                    engine.run_until(end)
-                    break
-                engine.run_until(boundary)
-                queue.extend(self._close_boundary(cls))
+        max_classes = self._max_classes
+        while True:
+            now = self._classes[0].engine.now
+            if now == 0:
+                boundary = window
+            elif now % window == 0:
+                # The boundary at `now` is still pending: it closes
+                # inside step(now), which has not run yet.
+                boundary = now
+            else:
+                boundary = now + (window - now % window)
+            if boundary >= end:
+                for cls in self._classes:
+                    cls.engine.run_until(end)
+                return
+            for cls in self._classes:
+                cls.engine.run_until(boundary)
+            if len(self._classes) > 1:
+                self._merge_classes()
+            # Snapshot the list: classes split off at this boundary have
+            # already run their boundary step and must not be reprocessed.
+            for cls in list(self._classes):
+                self._close_boundary(cls)
+            if max_classes is not None and len(self._classes) > max_classes:
+                raise DivergenceOverflow(
+                    [list(cls.members) for cls in self._classes]
+                )
+
+    def _merge_classes(self) -> None:
+        """Coalesce classes whose engine states re-converged.
+
+        Runs at a boundary cycle *before* the boundary's events dispatch:
+        every class sits at the same ``now`` with its window's decision
+        inputs accrued, so digest equality here means the engines evolve
+        bit-identically from this point for identical future commands.
+        The first class with a given digest (class-list order, which is
+        deterministic) survives; absorbed members record frame-shift
+        corrections (see :meth:`_absorb`).
+        """
+        survivors: dict[bytes, _ClassState] = {}
+        merged: list[_ClassState] = []
+        for cls in self._classes:
+            digest = state_digest(cls.engine)
+            target = survivors.get(digest)
+            if target is None:
+                survivors[digest] = cls
+                merged.append(cls)
+            else:
+                self._absorb(target, cls)
+                self.merges += 1
+        self._classes = merged
+
+    def _absorb(self, target: _ClassState, absorbed: _ClassState) -> None:
+        """Fold *absorbed*'s members into digest-equal *target*.
+
+        Every integer accumulator gets the exact frame shift
+        ``absorbed_totals - target_totals`` added to the member's
+        correction, so ``class_total + correction`` keeps equaling the
+        member's true scalar-run total. The energy reads skip
+        ``finalize``: digest equality includes ``_last_energy_cycle`` and
+        the power state, so both engines have accrued to the same point
+        and will accrue identically — the raw difference is exact.
+        """
+        np = self._np
+        a = target.engine
+        b = absorbed.engine
+        link_shift = np.array(
+            [channel.dvs.link_energy_fj for channel in b.channels],
+            dtype=np.int64,
+        ) - np.array(
+            [channel.dvs.link_energy_fj for channel in a.channels],
+            dtype=np.int64,
+        )
+        trans_shift = np.array(
+            [channel.dvs.transition_energy_fj for channel in b.channels],
+            dtype=np.int64,
+        ) - np.array(
+            [channel.dvs.transition_energy_fj for channel in a.channels],
+            dtype=np.int64,
+        )
+        count_shift = sum(
+            channel.dvs.transition_count for channel in b.channels
+        ) - sum(channel.dvs.transition_count for channel in a.channels)
+        a_meter = a._meter
+        b_meter = b._meter
+        offered_shift = b_meter.offered - a_meter.offered
+        ejected_shift = b_meter.ejected - a_meter.ejected
+        b_latencies = b_meter.latency._latencies
+        a_count = len(a_meter.latency._latencies)
+        rows = np.asarray(absorbed.members, dtype=np.intp)
+        self._corr_link_fj[rows] += link_shift
+        self._corr_trans_fj[rows] += trans_shift
+        self._corr_trans_count[rows] += count_shift
+        self._corr_offered[rows] += offered_shift
+        self._corr_ejected[rows] += ejected_shift
+        for member in absorbed.members:
+            # The member's samples so far: its prefix plus what its old
+            # class collected since it joined; from here on it rides the
+            # target class's list.
+            self._lat_prefix[member] += b_latencies[self._lat_from[member] :]
+            self._lat_from[member] = a_count
+        target.members.extend(absorbed.members)
 
     def _close_boundary(self, cls: _ClassState) -> list[_ClassState]:
         """Process one history-window boundary for one class.
@@ -451,7 +657,7 @@ class BatchedEngine:
         sleep_ok = [False] * channels
         for j, controller in enumerate(controllers):
             channel = controller.channel
-            busy = channel.busy_cycles_total - controller._last_busy_total
+            busy = channel.busy_window
             lu[j] = min(1.0, busy / controller.window_cycles)
             occupancy = (
                 controller.occupancy_source.cumulative_integral(now)
@@ -533,16 +739,12 @@ class BatchedEngine:
 
         new_classes: list[_ClassState] = []
         for rows in ordered[1:]:
-            # Divergent group: clone the pre-finish engine state. The
-            # deepcopy maps every internal reference (bound methods,
-            # shared counters, pooled events) onto the clone; only the
-            # id()-keyed transition-event index must be rebuilt, and the
-            # clone's puppets re-collected from its controllers.
-            clone = copy.deepcopy(engine)
-            clone._channel_ids = {
-                id(channel.dvs): channel.spec.channel_id
-                for channel in clone.channels
-            }
+            # Divergent group: snapshot the pre-finish engine state.
+            # fast_clone maps every internal reference (bound methods,
+            # shared counters, pending events) onto the clone and rebuilds
+            # the id()-keyed transition-event index; the clone's puppets
+            # are re-collected from its controllers.
+            clone = fast_clone(engine)
             puppets = [controller.policy for controller in clone.controllers]
             self._preload(puppets, act[rows[0]], replay[rows[0]])
             clone.finish_boundary_step()
@@ -640,21 +842,69 @@ class BatchedEngine:
     # -- summarization -----------------------------------------------------
 
     def _finish(self) -> list[SimulationResult]:
+        """Reconstruct every member's result from its class plus corrections.
+
+        One uniform path: a never-merged member has zero corrections and
+        an empty latency prefix, so its reconstruction feeds the exact
+        integers of its class through the exact float-op sequence
+        (:func:`~repro.power.accounting.derive_report`, the same division
+        for the rates, a latency summary over the same multiset) that the
+        scalar kernel's ``finish()`` performs — bit-identical by
+        construction, with no second code path to drift.
+        """
         np = self._np
         results: list[SimulationResult | None] = [None] * self.n_members
         for cls in self._classes:
             engine = cls.engine
             class_result = engine.finish()
-            now = engine.now
-            ledger = np.empty(self._n_channels, dtype=np.int64)
-            for j, channel in enumerate(engine.channels):
-                channel.dvs.finalize(now)
-                ledger[j] = joules_to_femtojoules(channel.dvs.total_energy_j)
+            accountant = engine.accountant
+            meter = engine._meter
+            # finish() finalized every channel to `now` via the
+            # accountant, so these totals are current.
+            link_end = np.array(
+                [channel.dvs.link_energy_fj for channel in engine.channels],
+                dtype=np.int64,
+            )
+            trans_end = np.array(
+                [channel.dvs.transition_energy_fj for channel in engine.channels],
+                dtype=np.int64,
+            )
+            count_end = sum(
+                channel.dvs.transition_count for channel in engine.channels
+            )
+            latencies = meter.latency._latencies
+            measure_cycles = class_result.measure_cycles
             for member in cls.members:
-                self._energy_fj[member, :] = ledger
+                member_link = link_end + self._corr_link_fj[member]
+                member_trans = trans_end + self._corr_trans_fj[member]
+                self._energy_fj[member, :] = member_link + member_trans
+                power = derive_report(
+                    int(member_link.sum()) - int(self._start_link_fj[member].sum()),
+                    int(member_trans.sum())
+                    - int(self._start_trans_fj[member].sum()),
+                    count_end
+                    + int(self._corr_trans_count[member])
+                    - int(self._start_trans_count[member]),
+                    meter.measure_start,
+                    engine.now,
+                    accountant.router_clock_hz,
+                    accountant.baseline_power_w,
+                )
+                collector = LatencyCollector()
+                collector._latencies = (
+                    self._lat_prefix[member] + latencies[self._lat_from[member] :]
+                )
+                offered = meter.offered + int(self._corr_offered[member])
+                ejected = meter.ejected + int(self._corr_ejected[member])
                 results[member] = dataclasses.replace(
                     class_result,
                     config=self.configs[member],
+                    offered_packets=offered,
+                    ejected_packets=ejected,
+                    offered_rate=offered / measure_cycles,
+                    accepted_rate=ejected / measure_cycles,
+                    latency=collector.stats(),
+                    power=power,
                     requests_dropped=int(self._drops[member]),
                 )
         return results  # type: ignore[return-value]

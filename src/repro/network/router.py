@@ -652,6 +652,7 @@ class Router:
                 busy = start + occupancy
                 dvs.busy_until = busy
                 dvs.busy_cycles_total += occupancy
+                dvs.busy_window += occupancy
                 dvs.flits_sent += 1
                 arrival = ceil(busy + port_pipeline[out_port])
                 record = pool.pop() if pool else self._event_record()

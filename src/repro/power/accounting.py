@@ -4,9 +4,16 @@
 voltage levels set for all the channels in the network" (paper
 Section 4.2). Each :class:`~repro.core.dvs_link.DVSChannel` already
 integrates its own energy (steady-state level power over time, transition
-overheads per Eq. (1)); the accountant differencess those totals across a
+overheads per Eq. (1)); the accountant differences those totals across a
 measurement window and normalizes against the all-channels-at-max
 baseline.
+
+The accountant's internal arithmetic is **integer femtojoules** end to
+end: totals and phase-start snapshots are exact integers, and only
+:func:`derive_report` converts the integer deltas to floats — in one fixed
+operation sequence shared with the batched sweep kernel, so a report
+reconstructed from per-member integer deltas (after class re-merging) is
+bit-identical to the scalar kernel's.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 
 from ..core.dvs_link import DVSChannel
 from ..errors import SimulationError
+from ..units import femtojoules_to_joules
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +57,40 @@ class PowerReport:
     duration_s: float
 
 
+def derive_report(
+    link_delta_fj: int,
+    transition_delta_fj: int,
+    transition_count: int,
+    start_cycle: int,
+    end_cycle: int,
+    router_clock_hz: float,
+    baseline_power_w: float,
+) -> PowerReport:
+    """Build a :class:`PowerReport` from exact integer phase deltas.
+
+    The single place integer femtojoules become floats. Both the scalar
+    accountant and the batched kernel's re-merge reconstruction call this,
+    so equal integer deltas always yield bit-identical reports.
+    """
+    duration_s = (end_cycle - start_cycle) / router_clock_hz
+    link_power = femtojoules_to_joules(link_delta_fj) / duration_s
+    overhead_power = femtojoules_to_joules(transition_delta_fj) / duration_s
+    mean_power = link_power + overhead_power
+    return PowerReport(
+        mean_power_w=mean_power,
+        mean_link_power_w=link_power,
+        baseline_power_w=baseline_power_w,
+        normalized=mean_power / baseline_power_w,
+        normalized_link_only=link_power / baseline_power_w,
+        savings_factor=(
+            baseline_power_w / mean_power if mean_power > 0.0 else float("inf")
+        ),
+        transition_count=transition_count,
+        transition_energy_j=femtojoules_to_joules(transition_delta_fj),
+        duration_s=duration_s,
+    )
+
+
 class PowerAccountant:
     """Tracks link energy of a set of channels across a measurement phase."""
 
@@ -64,28 +106,28 @@ class PowerAccountant:
             first.table, first.table.max_level, first.lanes
         )
         self._start_cycle: int | None = None
-        self._start_link_energy_j = 0.0
+        self._start_link_energy_fj = 0
         self._start_transitions = 0
-        self._start_transition_energy_j = 0.0
+        self._start_transition_energy_fj = 0
 
-    def _totals(self, now: int) -> tuple[float, int, float]:
-        link_energy = 0.0
+    def _totals(self, now: int) -> tuple[int, int, int]:
+        link_energy_fj = 0
         transitions = 0
-        transition_energy = 0.0
+        transition_energy_fj = 0
         for channel in self.channels:
             channel.finalize(now)
-            link_energy += channel.link_energy_j
+            link_energy_fj += channel.link_energy_fj
             transitions += channel.transition_count
-            transition_energy += channel.transition_energy_j
-        return link_energy, transitions, transition_energy
+            transition_energy_fj += channel.transition_energy_fj
+        return link_energy_fj, transitions, transition_energy_fj
 
     def begin(self, now: int) -> None:
         """Mark the start of the measurement phase."""
-        link_energy, transitions, transition_energy = self._totals(now)
+        link_energy_fj, transitions, transition_energy_fj = self._totals(now)
         self._start_cycle = now
-        self._start_link_energy_j = link_energy
+        self._start_link_energy_fj = link_energy_fj
         self._start_transitions = transitions
-        self._start_transition_energy_j = transition_energy
+        self._start_transition_energy_fj = transition_energy_fj
 
     def report(self, now: int) -> PowerReport:
         """Summarize the phase from :meth:`begin` to *now*."""
@@ -93,25 +135,15 @@ class PowerAccountant:
             raise SimulationError("begin() was never called")
         if now <= self._start_cycle:
             raise SimulationError("measurement phase has zero length")
-        link_energy, transitions, transition_energy = self._totals(now)
-        duration_s = (now - self._start_cycle) / self.router_clock_hz
-        link_power = (link_energy - self._start_link_energy_j) / duration_s
-        overhead_power = (
-            transition_energy - self._start_transition_energy_j
-        ) / duration_s
-        mean_power = link_power + overhead_power
-        return PowerReport(
-            mean_power_w=mean_power,
-            mean_link_power_w=link_power,
-            baseline_power_w=self.baseline_power_w,
-            normalized=mean_power / self.baseline_power_w,
-            normalized_link_only=link_power / self.baseline_power_w,
-            savings_factor=(
-                self.baseline_power_w / mean_power if mean_power > 0.0 else float("inf")
-            ),
-            transition_count=transitions - self._start_transitions,
-            transition_energy_j=transition_energy - self._start_transition_energy_j,
-            duration_s=duration_s,
+        link_energy_fj, transitions, transition_energy_fj = self._totals(now)
+        return derive_report(
+            link_energy_fj - self._start_link_energy_fj,
+            transition_energy_fj - self._start_transition_energy_fj,
+            transitions - self._start_transitions,
+            self._start_cycle,
+            now,
+            self.router_clock_hz,
+            self.baseline_power_w,
         )
 
     def instantaneous_power_w(self) -> float:

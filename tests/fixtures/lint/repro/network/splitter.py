@@ -1,0 +1,19 @@
+"""R6 (deepcopy flavor): engine deep-copied inside a # repro-hot split.
+
+Divergence splits sit on the sweep hot path; ``copy.deepcopy`` walks the
+*entire* object graph — immutable config, topology, route memos and all —
+every time a class splits. The snapshot protocol
+(``repro.network.snapshot.fast_clone``) copies only live mutable state.
+"""
+
+import copy
+
+
+class ClassSplitter:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def split(self, members):  # repro-hot
+        clone = copy.deepcopy(self.engine)
+        clone.members = members
+        return clone

@@ -109,6 +109,84 @@ class TestBatchedEquivalence:
         assert batched == serial
 
 
+def divergent_sweep():
+    """A threshold/weight grid known to split into two classes on the
+    4x4 two-level reference scenario."""
+    base = small_config(
+        radix=4, policy="history", rate=0.6, warmup=200, measure=600,
+        workload_kind="two_level", seed=7, average_tasks=5,
+        average_task_duration_s=3.0e-6,
+    )
+    return [
+        dataclasses.replace(
+            base,
+            dvs=dataclasses.replace(
+                base.dvs, thresholds=thresholds, ewma_weight=weight
+            ),
+        )
+        for weight in (1.0, 3.0)
+        for thresholds in (TABLE2_SETTINGS["I"], TABLE2_SETTINGS["IV"])
+    ]
+
+
+class TestFanout:
+    """Divergence overflow: a batch past its class budget is re-run as
+    class-aligned sub-batches — bit-identically."""
+
+    def test_inline_fanout_is_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        configs = divergent_sweep()
+        scalar_results, _ = SerialBackend(retry=FAIL_FAST).run(configs)
+        lines = []
+        backend = BatchedBackend(
+            retry=FAIL_FAST, fanout_classes=1, progress=lines.append
+        )
+        results, report = backend.run(configs)
+        assert report.ok  # fan-out is recovered, not a failure
+        assert results == scalar_results
+        assert backend.kernel_stats["fanouts"] == 1
+        fanouts = [
+            incident
+            for incident in report.incidents
+            if incident.outcome == "batch-fanout"
+        ]
+        assert len(fanouts) == 1
+        assert fanouts[0].recovered
+        assert fanouts[0].points == len(configs)
+        assert any(line.startswith("fan-out:") for line in lines)
+
+    def test_pooled_fanout_is_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        configs = divergent_sweep()
+        scalar_results, _ = SerialBackend(retry=FAIL_FAST).run(configs)
+        backend = BatchedBackend(2, retry=FAIL_FAST, fanout_classes=1)
+        results, report = backend.run(configs)
+        assert report.ok
+        assert results == scalar_results
+        assert backend.kernel_stats["fanouts"] == 1
+
+    def test_pooled_default_budget_is_the_worker_count(self):
+        assert BatchedBackend(3).fanout_classes == 3
+        assert BatchedBackend().fanout_classes is None
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ExperimentError, match="fanout_classes"):
+            BatchedBackend(fanout_classes=0)
+
+    def test_progress_reports_per_batch_divergence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        lines = []
+        backend = BatchedBackend(retry=FAIL_FAST, progress=lines.append)
+        _, report = backend.run(divergent_sweep())
+        assert report.ok
+        assert backend.kernel_stats["batches"] == 1
+        assert backend.kernel_stats["splits"] >= 1
+        assert any(
+            "classes=" in line and "splits=" in line and "merges=" in line
+            for line in lines
+        )
+
+
 class TestBatchedCache:
     def test_cache_hits_skip_simulation_entirely(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
@@ -149,10 +227,11 @@ class TestBatchEviction:
 
     def test_single_member_batch_never_builds_the_engine(self, monkeypatch):
         monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
-        outcomes, incidents = run_config_batch(
+        outcomes, incidents, stats = run_config_batch(
             [small_config(rate=0.2, warmup=100, measure=300)], FAIL_FAST
         )
         assert incidents == []
+        assert stats is None
         result, failure = outcomes[0]
         assert failure is None and result is not None
 
@@ -160,9 +239,10 @@ class TestBatchEviction:
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         monkeypatch.setattr(backends, "BatchedEngine", _BoomEngine)
         configs = knob_sweep()[:2]
-        outcomes, incidents = run_config_batch(configs, FAIL_FAST)
+        outcomes, incidents, stats = run_config_batch(configs, FAIL_FAST)
         # No eviction incident: the batched engine was never constructed,
         # the sanitizer ran on the scalar per-point path.
         assert incidents == []
+        assert stats is None
         assert all(failure is None for _, failure in outcomes)
         assert all(result is not None for result, _ in outcomes)

@@ -54,13 +54,16 @@ class ConstantRateLoop:
                 self.rate * self.window * self.channel.serialization_cycles,
             )
             self.channel.busy_cycles_total += busy
+            self.channel.busy_window += busy
             self.set_buffer_utilization(bu)
-            self.controller.close_window(self.now)
+            # Engine ordering: phase events fire at their exact cycle,
+            # before any window closing at or after them.
             while (
                 self.channel.pending_event_cycle is not None
                 and self.channel.pending_event_cycle <= self.now
             ):
                 self.channel.on_phase_end(self.channel.pending_event_cycle)
+            self.controller.close_window(self.now)
 
 
 class TestConvergence:

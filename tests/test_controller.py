@@ -90,12 +90,14 @@ class TestActuation:
         now = 0
         for _ in range(10):
             now += 200
-            action = controller.close_window(now)
+            # The engine dispatches phase events at their exact cycle,
+            # before any window closing at or after them.
             while (
                 channel.pending_event_cycle is not None
                 and channel.pending_event_cycle <= now
             ):
                 channel.on_phase_end(channel.pending_event_cycle)
+            action = controller.close_window(now)
         assert action is DVSAction.STEP_DOWN
         assert channel.level < 9
 
@@ -115,12 +117,12 @@ class TestActuation:
         now = 0
         for _ in range(40):
             now += 200
-            controller.close_window(now)
             while (
                 channel.pending_event_cycle is not None
                 and channel.pending_event_cycle <= now
             ):
                 channel.on_phase_end(channel.pending_event_cycle)
+            controller.close_window(now)
         # Drain any in-flight transition.
         while channel.pending_event_cycle is not None:
             channel.on_phase_end(channel.pending_event_cycle)

@@ -11,6 +11,12 @@ shows up here as a hard failure.
 Also pins the serial-equals-parallel acceptance criterion:
 ``parallel_compare_policies(processes=2)`` must equal the serial
 ``compare_policies`` point for point.
+
+The energy pins were re-captured when the channel accumulators moved to
+integer femtojoules and window utilization became reset-based (the
+batched kernel's class re-merging needs both) — a pure quantization
+shift; every behavioral pin (packet counts, latency distribution,
+transition count, drops) was bit-identical across that change.
 """
 
 from __future__ import annotations
@@ -70,11 +76,11 @@ class TestGoldenDVS:
         assert result.latency.p99 == 1682.0
         assert result.latency.minimum == 18
         assert result.latency.maximum == 2036
-        assert result.power.mean_power_w == 67.17859495560042
-        assert result.power.normalized == 0.8747212884843804
-        assert result.power.savings_factor == 1.143221290215411
+        assert result.power.mean_power_w == 67.17859494300001
+        assert result.power.normalized == 0.8747212883203125
+        assert result.power.savings_factor == 1.1432212904298402
         assert result.power.transition_count == 347
-        assert result.power.transition_energy_j == 0.00010727308641975312
+        assert result.power.transition_energy_j == 0.00010727308638800001
         assert result.mean_level == 2.3958333333333335
         assert result.requests_dropped == 372
 
@@ -92,7 +98,7 @@ class TestGoldenSeries:
         assert result.latency.mean == 41.65187119234117
         assert result.latency.minimum == 18
         assert result.latency.maximum == 96
-        assert result.power.mean_power_w == 76.80000000000011
+        assert result.power.mean_power_w == 76.80000000000001
         assert result.power.transition_count == 0
         assert result.mean_level == 9.0
         assert result.requests_dropped == 0
@@ -104,13 +110,13 @@ class TestGoldenSeries:
         ]
         assert result.series["power_w"].values == [
             0.0,
-            76.79999999999994,
-            76.80000000000024,
-            76.79999999999964,
-            76.79999999999991,
-            76.80000000000057,
+            76.79999999999997,
+            76.8000000000002,
+            76.79999999999976,
+            76.79999999999987,
+            76.80000000000051,
+            76.80000000000003,
             76.79999999999949,
-            76.79999999999981,
         ]
         assert result.series["mean_level"].values == [9.0] * 8
 

@@ -69,10 +69,13 @@ class TestFixtureViolations:
     def test_fixture_trips_every_rule_exactly_once(self):
         violations, errors = lint_paths([FIXTURES], include_fixtures=True)
         assert errors == []
-        # R6 appears twice: once for the container-allocation flavor
-        # (contracts.py) and once for the numpy-temporary flavor
-        # (repro/network/batched.py).
-        assert sorted(v.rule for v in violations) == sorted(list(RULES) + ["R6"])
+        # R6 appears three times: the container-allocation flavor
+        # (contracts.py), the numpy-temporary flavor
+        # (repro/network/batched.py), and the deepcopy flavor
+        # (repro/network/splitter.py).
+        assert sorted(v.rule for v in violations) == sorted(
+            list(RULES) + ["R6", "R6"]
+        )
 
     def test_fixtures_excluded_by_default(self):
         violations, errors = lint_paths([FIXTURES])
@@ -344,6 +347,49 @@ class TestRuleR6:
                 np.multiply(self.weight, raw, out=self.scratch)
                 np.take(self.pred, self.idx, axis=0, out=self.rows)
                 return self.scratch
+            """
+        assert _lint_source(source, "src/repro/network/batched.py") == []
+
+    def test_deepcopy_flagged_with_snapshot_advice(self):
+        source = """
+            import copy
+
+            def split(self, members):  # repro-hot
+                clone = copy.deepcopy(self.engine)
+                return clone
+            """
+        violations = _lint_source(source, "src/repro/network/batched.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "copy.deepcopy()" in violations[0].message
+        assert "fast_clone" in violations[0].message
+        assert "'split'" in violations[0].message
+
+    def test_bare_deepcopy_name_also_flagged(self):
+        source = """
+            from copy import deepcopy
+
+            def split(self, members):  # repro-hot
+                return deepcopy(self.engine)
+            """
+        violations = _lint_source(source, "src/repro/network/batched.py")
+        assert [v.rule for v in violations] == ["R6"]
+        assert "copy.deepcopy()" in violations[0].message
+
+    def test_deepcopy_in_unmarked_function_ignored(self):
+        source = """
+            import copy
+
+            def setup(self):
+                return copy.deepcopy(self.engine)
+            """
+        assert _lint_source(source, "src/repro/network/batched.py") == []
+
+    def test_shallow_copy_not_flagged(self):
+        source = """
+            import copy
+
+            def split(self, members):  # repro-hot
+                self.cursor = copy.copy(self.cursor)
             """
         assert _lint_source(source, "src/repro/network/batched.py") == []
 
@@ -974,11 +1020,11 @@ class TestMutationCatches:
     def test_seeded_fj_plus_mw_addition_caught(self):
         path = "src/repro/network/batched.py"
         source = (REPO_ROOT / path).read_text(encoding="utf-8")
-        anchor = "ledger[j] = joules_to_femtojoules(channel.dvs.total_energy_j)"
+        anchor = "energy[0, j] = dvs.total_energy_fj"
         assert anchor in source, "mutation anchor moved; update the test"
         mutated = source.replace(
             anchor,
-            "ledger[j] = joules_to_femtojoules(channel.dvs.total_energy_j)"
+            "energy[0, j] = dvs.total_energy_fj"
             " + channel.leak_power_mw",
             1,
         )
@@ -1163,7 +1209,7 @@ class TestSarifOutput:
         assert driver["name"] == "repro-lint"
         assert [rule["id"] for rule in driver["rules"]] == list(RULES)
         results = run["results"]
-        assert len(results) == len(RULES) + 1  # R6 fires twice
+        assert len(results) == len(RULES) + 2  # R6 fires three times
         for result in results:
             assert result["ruleId"] in RULES
             location = result["locations"][0]["physicalLocation"]

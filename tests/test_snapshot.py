@@ -1,0 +1,201 @@
+"""Tests for O(live-state) engine snapshots (repro.network.snapshot).
+
+The contract under test is the one the batched kernel's copy-on-divergence
+splits lean on: ``fast_clone(sim)`` must be *behaviorally indistinguishable*
+from ``copy.deepcopy(sim)`` — continue both to completion and every
+SimulationResult field matches bit for bit — while ``state_digest`` must be
+equal exactly when two engines will evolve identically under identical
+inputs.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.core.registry import registered_policies
+from repro.core.thresholds import TABLE2_SETTINGS
+from repro.errors import SimulationError
+from repro.network.simulator import Simulator
+from repro.network.snapshot import _needs_deepcopy, fast_clone, state_digest
+
+from .conftest import small_config
+
+
+def mid_run_simulator(policy: str, **kwargs) -> Simulator:
+    """A seeded engine advanced to the middle of its measured phase —
+    the state a divergence split actually clones."""
+    defaults = dict(
+        radix=4,
+        policy=policy,
+        rate=0.6,
+        warmup=200,
+        measure=400,
+        workload_kind="two_level",
+        seed=7,
+        average_tasks=5,
+        average_task_duration_s=3.0e-6,
+    )
+    defaults.update(kwargs)
+    config = small_config(**defaults)
+    sim = Simulator(config)
+    sim.run_cycles(config.warmup_cycles)
+    sim.begin_measurement()
+    sim.run_cycles(config.measure_cycles // 2)
+    return sim
+
+
+def deepclone(sim: Simulator) -> Simulator:
+    """The old split path: deepcopy plus the identity-map rebuild it needs."""
+    clone = copy.deepcopy(sim)
+    clone._channel_ids = {
+        id(channel.dvs): channel.spec.channel_id for channel in clone.channels
+    }
+    return clone
+
+
+def finish_from_midpoint(sim: Simulator):
+    remaining = (
+        sim.config.warmup_cycles
+        + sim.config.measure_cycles
+        - sim.now
+    )
+    sim.run_cycles(remaining)
+    return sim.finish()
+
+
+class TestFastCloneEquivalence:
+    @pytest.mark.parametrize("policy", registered_policies())
+    def test_clone_equals_deepcopy_for_every_policy(self, policy):
+        """Property: original, fast_clone, and deepcopy of a mid-run engine
+        all finish with strictly equal results and equal digests."""
+        sim = mid_run_simulator(policy)
+        fast = fast_clone(sim)
+        slow = deepclone(sim)
+        assert state_digest(fast) == state_digest(sim)
+        assert state_digest(slow) == state_digest(sim)
+        original = finish_from_midpoint(sim)
+        cloned = finish_from_midpoint(fast)
+        copied = finish_from_midpoint(slow)
+        assert cloned == original
+        assert copied == original
+        assert state_digest(fast) == state_digest(sim)
+
+    def test_clone_during_warmup(self):
+        """Splits can happen before measurement starts; the clone must
+        carry warmup state and measure identically afterwards."""
+        config = small_config(
+            radix=4, policy="history", rate=0.6, warmup=200, measure=400,
+            workload_kind="two_level", seed=7, average_tasks=5,
+            average_task_duration_s=3.0e-6,
+        )
+        sim = Simulator(config)
+        sim.run_cycles(config.warmup_cycles)
+        clone = fast_clone(sim)
+        for engine in (sim, clone):
+            engine.begin_measurement()
+            engine.run_cycles(config.measure_cycles)
+        assert clone.finish() == sim.finish()
+
+    def test_clone_is_independent_of_the_original(self):
+        """Stepping the clone must not move the original (no shared
+        mutable state escaped the walk)."""
+        sim = mid_run_simulator("history")
+        before = state_digest(sim)
+        clone = fast_clone(sim)
+        clone.run_cycles(50)
+        assert state_digest(sim) == before
+        assert state_digest(clone) != before
+
+    def test_unknown_engine_attribute_fails_loudly(self):
+        """Inventory drift guard: a new Simulator attribute the walk does
+        not know about must raise, not silently share state."""
+        sim = mid_run_simulator("history")
+        sim.shiny_new_cache = {}
+        with pytest.raises(SimulationError, match="shiny_new_cache"):
+            fast_clone(sim)
+
+    def test_sanitized_engine_falls_back_to_deepcopy(self):
+        """Instrumented engines (sanitizer attached) take the deepcopy
+        fallback and still clone into a working, equal engine."""
+        config = small_config(
+            radix=4, policy="history", rate=0.4, warmup=100, measure=200,
+            seed=5,
+        )
+        sim = Simulator(config, sanitize=True)
+        sim.run_cycles(config.warmup_cycles)
+        sim.begin_measurement()
+        sim.run_cycles(config.measure_cycles // 2)
+        assert _needs_deepcopy(sim)
+        clone = fast_clone(sim)
+        assert finish_from_midpoint(clone) == finish_from_midpoint(sim)
+
+
+class TestStateDigest:
+    def test_divergent_decisions_digest_apart(self):
+        """Engines whose DVS decisions actually diverged digest apart.
+
+        Note the digest covers *network* state only (channels, buffers,
+        events, traffic) — policy registers are deliberately excluded
+        because the batched kernel keeps them per member — so merely
+        different knobs with identical behavior so far digest equal;
+        that equality is exactly what class re-merging exploits.
+        """
+        sim = mid_run_simulator("history", measure=600)
+        config = dataclasses.replace(
+            sim.config,
+            dvs=dataclasses.replace(
+                sim.config.dvs, thresholds=TABLE2_SETTINGS["VI"]
+            ),
+        )
+        other = Simulator(config)
+        other.run_cycles(config.warmup_cycles)
+        other.begin_measurement()
+        other.run_cycles(config.measure_cycles // 2)
+        # Run both to the end of measurement: the reference scenario is
+        # known to split classes for this threshold pair, so the final
+        # states must differ.
+        sim.run_cycles(sim.config.measure_cycles - sim.config.measure_cycles // 2)
+        other.run_cycles(config.measure_cycles - config.measure_cycles // 2)
+        assert state_digest(sim) != state_digest(other)
+
+    def test_digest_is_stable_under_recomputation(self):
+        sim = mid_run_simulator("history")
+        assert state_digest(sim) == state_digest(sim)
+
+
+def _threshold_grid(base):
+    return [
+        dataclasses.replace(
+            base,
+            dvs=dataclasses.replace(
+                base.dvs, thresholds=thresholds, ewma_weight=weight
+            ),
+        )
+        for weight in (1.0, 3.0)
+        for thresholds in (TABLE2_SETTINGS["I"], TABLE2_SETTINGS["IV"])
+    ]
+
+
+class TestReMergeEquivalence:
+    def test_diverge_then_reconverge_grid_is_bit_identical(self):
+        """A bursty single-task workload makes threshold-divergent classes
+        drain back to the same state: the kernel must re-merge them
+        (merges > 0) and still match the scalar kernel exactly, member
+        for member — the merge-correction algebra at work."""
+        from repro.network.batched import BatchedEngine
+
+        base = small_config(
+            radix=4, policy="history", rate=1.0, warmup=200, measure=3000,
+            workload_kind="two_level", seed=3, average_tasks=1,
+            average_task_duration_s=1.0e-6,
+        )
+        configs = _threshold_grid(base)
+        engine = BatchedEngine(configs)
+        results = engine.run()
+        assert engine.splits > 0
+        assert engine.merges > 0
+        for config, result in zip(configs, results, strict=False):
+            assert Simulator(config).run() == result
