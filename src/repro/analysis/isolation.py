@@ -44,7 +44,12 @@ from .model import (
 )
 
 #: Functions treated as worker entry points (matched by unqualified name).
-WORKER_ENTRY_POINTS = ("run_point", "run_chunk", "run_config_batch")
+#: ``run_worker_chunk`` is the distributed fabric's work unit
+#: (:mod:`repro.harness.distributed.worker`) — remote workers must obey
+#: the same isolation contract as pool workers.
+WORKER_ENTRY_POINTS = (
+    "run_point", "run_chunk", "run_config_batch", "run_worker_chunk",
+)
 
 #: Method names that mutate their receiver in place.
 MUTATOR_METHODS = frozenset(

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro describe                    # static tables and models
     python -m repro policies                    # registered DVS policies
@@ -8,6 +8,15 @@ Six subcommands::
     python -m repro sweep --rates 0.3,0.9,1.5   # DVS vs non-DVS comparison
     python -m repro pareto --rates 0.9          # cross-policy frontier
     python -m repro figure fig10 --scale smoke  # regenerate a paper figure
+    python -m repro worker --port 8751          # join a distributed sweep
+    python -m repro cache-server /path/store    # shared result store
+
+Distributed sweeps: ``repro sweep --backend distributed --workers 4``
+spawns a loopback worker fleet for the run; with ``--workers 0`` the
+coordinator waits for externally started ``repro worker`` processes
+(point them at the coordinator's ``--dist-port``). ``repro
+cache-server`` serves a shared result store other hosts consult via the
+``REPRO_RESULT_STORE`` environment variable.
 
 All heavy lifting lives in the library; the CLI only parses arguments,
 calls the same functions the benchmarks use, and prints the rendered
@@ -135,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (1 = serial)")
     sweep.add_argument("--kernel", choices=("scalar", "batched"), default="scalar",
                        help="simulation kernel: scalar (default) or batched lockstep sweeps")
+    _add_distributed_options(sweep)
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore the on-disk sweep result cache")
     sweep.add_argument("--resume", action="store_true",
@@ -167,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the campaign (1 = serial)")
     pareto.add_argument("--kernel", choices=("scalar", "batched"), default="scalar",
                         help="simulation kernel: scalar (default) or batched lockstep sweeps")
+    _add_distributed_options(pareto)
     pareto.add_argument("--no-cache", action="store_true",
                         help="ignore the on-disk sweep result cache")
     pareto.add_argument("--resume", action="store_true",
@@ -184,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--csv", default=None, metavar="PATH",
                         help="write the campaign as flat CSV to PATH")
     pareto.set_defaults(func=cmd_pareto)
+
+    worker = sub.add_parser(
+        "worker", help="join a distributed sweep as a remote worker"
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="coordinator host to connect to")
+    worker.add_argument("--port", type=int, required=True,
+                        help="coordinator port (the sweep's --dist-port)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable identity for logs and the coordinator "
+                        "(default: worker-<pid>)")
+    worker.add_argument("--heartbeat", type=float, default=0.25,
+                        metavar="SECONDS", help="heartbeat interval")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-event progress on stderr")
+    worker.set_defaults(func=cmd_worker)
+
+    cache_server = sub.add_parser(
+        "cache-server", help="serve a shared sweep result store over HTTP"
+    )
+    cache_server.add_argument("root", help="directory holding the store entries")
+    cache_server.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default loopback; the store "
+                              "trusts its network)")
+    cache_server.add_argument("--port", type=int, default=8750)
+    cache_server.set_defaults(func=cmd_cache_server)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure/table")
     figure.add_argument("name", choices=sorted(FIGURES))
@@ -328,13 +365,45 @@ def _kernel_progress(line: str) -> None:
     print(f"[batched] {line}", file=sys.stderr)
 
 
+def _fabric_progress(line: str) -> None:
+    """Live fabric events (registrations, losses, steals) on stderr."""
+    print(f"[distributed] {line}", file=sys.stderr)
+
+
+def _add_distributed_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=("local", "distributed"),
+                        default="local",
+                        help="execution backend: local (default) or the "
+                        "fault-tolerant distributed fabric")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="with --backend distributed: spawn N loopback "
+                        "worker processes (0 = serve externally started "
+                        "'repro worker' processes)")
+    parser.add_argument("--dist-host", default="127.0.0.1", metavar="HOST",
+                        help="coordinator bind address for --backend distributed")
+    parser.add_argument("--dist-port", type=int, default=0, metavar="PORT",
+                        help="coordinator port for --backend distributed "
+                        "(0 = auto; the chosen port is reported on stderr)")
+
+
 def _campaign_backend(args: argparse.Namespace):
     kernel = getattr(args, "kernel", "scalar")
+    backend = getattr(args, "backend", "local")
+    if backend == "distributed":
+        progress = _fabric_progress
+    elif kernel == "batched":
+        progress = _kernel_progress
+    else:
+        progress = None
     return make_backend(
         args.processes,
         retry=_retry_policy(args),
         kernel=kernel,
-        progress=_kernel_progress if kernel == "batched" else None,
+        progress=progress,
+        backend=backend,
+        workers=getattr(args, "workers", 0),
+        host=getattr(args, "dist_host", "127.0.0.1"),
+        port=getattr(args, "dist_port", 0),
     )
 
 
@@ -506,6 +575,29 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         print()
         print(report.describe())
         return 1 if report.failures else 0
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    # Imported lazily so plain local commands never touch the fabric.
+    from .harness.distributed import run_worker
+
+    return run_worker(
+        args.host,
+        args.port,
+        worker_id=args.worker_id,
+        heartbeat_s=args.heartbeat,
+        quiet=args.quiet,
+    )
+
+
+def cmd_cache_server(args: argparse.Namespace) -> int:
+    from .harness.distributed import serve_result_store
+
+    try:
+        serve_result_store(args.root, args.host, args.port)
+    except KeyboardInterrupt:
+        print("\nresult store stopped", file=sys.stderr)
     return 0
 
 

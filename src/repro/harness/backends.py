@@ -650,6 +650,10 @@ def make_backend(
     retry: Optional[RetryPolicy] = None,
     kernel: str = "scalar",
     progress=None,
+    backend: str = "local",
+    workers: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 0,
 ) -> ExecutionBackend:
     """Backend for *processes* workers (``None``/``0``/``1`` = serial).
 
@@ -657,12 +661,41 @@ def make_backend(
     sweep kernel — at any process count (1 means in-process batches).
     *progress* is the batched kernel's live divergence reporter; scalar
     backends have no per-batch stats and ignore it.
+
+    ``backend="distributed"`` selects the fault-tolerant TCP fabric
+    (:class:`~repro.harness.distributed.DistributedBackend`): *workers*
+    loopback worker processes are spawned for the run (0 means serve
+    externally started ``repro worker`` processes on *host*:*port*).
+    The distributed fabric ships scalar chunks only — combining it with
+    ``kernel="batched"`` is an error rather than a silent downgrade.
     """
     if processes is not None and processes < 0:
         raise ExperimentError("process count cannot be negative")
     if kernel not in ("scalar", "batched"):
         raise ExperimentError(
             f"unknown kernel {kernel!r}: expected 'scalar' or 'batched'"
+        )
+    if backend not in ("local", "distributed"):
+        raise ExperimentError(
+            f"unknown backend {backend!r}: expected 'local' or 'distributed'"
+        )
+    if backend == "distributed":
+        if kernel == "batched":
+            raise ExperimentError(
+                "the distributed backend ships scalar chunks; "
+                "--kernel batched is local-only"
+            )
+        # Imported lazily: the coordinator imports this module for the
+        # chunk machinery, so a top-level import would be circular.
+        from .distributed import DistributedBackend
+
+        return DistributedBackend(
+            spawn_workers=workers,
+            host=host,
+            port=port,
+            chunksize=chunksize or 1,
+            retry=retry,
+            progress=progress,
         )
     if kernel == "batched":
         return BatchedBackend(

@@ -1,0 +1,32 @@
+"""Distributed sweep fabric: coordinator, workers, shared result store.
+
+See :mod:`repro.harness.distributed.coordinator` for the execution
+model (leases, heartbeats, work-stealing, degrade-to-local) and
+``docs/architecture.md`` for the wire protocol.
+"""
+
+from __future__ import annotations
+
+from .coordinator import DistributedBackend
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    read_message,
+    write_message,
+)
+from .store import ResultStoreServer, serve_result_store
+from .worker import run_worker, run_worker_chunk
+
+__all__ = [
+    "DistributedBackend",
+    "MAX_FRAME_BYTES",
+    "ResultStoreServer",
+    "decode_payload",
+    "encode_frame",
+    "read_message",
+    "run_worker",
+    "run_worker_chunk",
+    "serve_result_store",
+    "write_message",
+]

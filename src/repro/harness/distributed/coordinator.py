@@ -1,0 +1,628 @@
+"""The distributed sweep coordinator: a fault-tolerant ExecutionBackend.
+
+:class:`DistributedBackend` is the third execution backend (after serial
+and the process pool): it shards the flat config list into the same
+:class:`~repro.harness.backends._Chunk` units the pool uses and
+dispatches them to remote workers over asyncio TCP. Everything the
+local backends guarantee still holds — results in input order, per-point
+:class:`~repro.harness.resilience.PointFailure` records, immediate
+per-chunk cache checkpointing (so ``--resume`` works across a killed
+campaign) — plus fabric-level fault tolerance:
+
+* **Leases.** Every dispatched chunk carries a deadline. A chunk whose
+  lease expires (slow host, stalled network) is *stolen*: re-queued for
+  the next idle worker, recorded as a recovered ``lease-expired``
+  incident. The original worker keeps running; if its late result
+  arrives after a steal settled the chunk it is simply ignored
+  (results are deterministic, so either copy is bit-identical).
+* **Heartbeats.** Workers announce liveness on a side channel. A worker
+  that misses heartbeats past ``heartbeat_timeout_s`` — killed,
+  partitioned, frozen — is declared lost: its in-flight chunk re-queues
+  as a recovered ``host-lost`` incident and its connection is dropped.
+  A lost worker that was merely frozen simply re-registers and keeps
+  serving.
+* **Degrade to local.** When the last worker is gone (and no spawned
+  worker process can come back), the coordinator stops waiting and runs
+  every unsettled chunk in-process through the unchanged resilience
+  path — a sweep never hangs or fails because the fleet died; it only
+  gets slower, and says so via a recovered ``degraded-local`` incident.
+
+No fabric fault can change sweep *results*: workers compute
+deterministic functions of their configs, duplicated work is settled
+first-wins, and lost work is recomputed. The chaos acceptance tests
+assert bit-identity against the serial backend under worker kills,
+partitions, stalls, and corrupted frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+from ...config import SimulationConfig
+from ...errors import DistributedError, ExperimentError
+from ...network.simulator import SimulationResult
+from ..backends import ExecutionBackend, _Chunk
+from ..cache import SweepCache, get_cache
+from ..resilience import (
+    DEFAULT_RETRY_POLICY,
+    FailureReport,
+    PointFailure,
+    RetryPolicy,
+)
+from .protocol import read_message, write_message
+from .worker import run_worker_chunk
+
+#: One worker outcome: the run_chunk per-point shape.
+_Outcome = tuple[Optional[SimulationResult], Optional[PointFailure]]
+
+
+@dataclass
+class _WorkerState:
+    """One connected worker, as the coordinator sees it."""
+
+    worker_id: str
+    writer: asyncio.StreamWriter
+    last_seen: float
+    #: The chunk currently leased to this worker, if any.
+    chunk_id: Optional[int] = None
+
+
+@dataclass
+class _FabricRun:
+    """All mutable state for one :meth:`DistributedBackend.run` call."""
+
+    chunks: list[_Chunk]
+    results: list[Optional[SimulationResult]]
+    report: FailureReport
+    cache: Optional[SweepCache]
+    pending: deque[int]
+    settled: list[bool]
+    unsettled: int
+    workers: dict[str, _WorkerState] = field(default_factory=dict)
+    #: chunk id -> lease deadline (event-loop clock).
+    leases: dict[int, float] = field(default_factory=dict)
+    ever_registered: bool = False
+    workerless_since: float = 0.0
+    send_tasks: set["asyncio.Task[None]"] = field(default_factory=set)
+    handler_tasks: set["asyncio.Task[None]"] = field(default_factory=set)
+
+
+class DistributedBackend(ExecutionBackend):
+    """Fans a sweep out to remote ``repro worker`` processes over TCP.
+
+    ``spawn_workers=N`` launches N loopback worker subprocesses for the
+    duration of the run (the zero-setup path behind ``repro sweep
+    --backend distributed --workers N``); with ``spawn_workers=0`` the
+    coordinator only serves externally started workers, which learn the
+    bound port from *on_listening* (tests) or the operator (real use).
+
+    ``chunksize`` defaults to 1: the finest work-stealing granularity,
+    the right default when each point is seconds of simulation and the
+    fabric must reassign work at host death. Raise it when per-point
+    cost is tiny relative to a network round-trip.
+    """
+
+    def __init__(
+        self,
+        *,
+        spawn_workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        chunksize: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: float = 0.25,
+        heartbeat_timeout_s: float = 1.5,
+        lease_s: float = 30.0,
+        register_grace_s: float = 10.0,
+        host_loss_grace_s: float = 2.0,
+        progress: Optional[Callable[[str], None]] = None,
+        on_listening: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        if spawn_workers < 0:
+            raise ExperimentError("spawn_workers cannot be negative")
+        if chunksize < 1:
+            raise ExperimentError("chunksize must be positive")
+        if heartbeat_s <= 0:
+            raise ExperimentError("heartbeat_s must be positive")
+        if heartbeat_timeout_s <= heartbeat_s:
+            raise ExperimentError(
+                "heartbeat_timeout_s must exceed heartbeat_s, or every "
+                "worker is declared lost between two heartbeats"
+            )
+        if lease_s <= 0:
+            raise ExperimentError("lease_s must be positive")
+        if register_grace_s < 0 or host_loss_grace_s < 0:
+            raise ExperimentError("grace periods cannot be negative")
+        self.spawn_workers = spawn_workers
+        self.host = host
+        self.port = port
+        self.chunksize = chunksize
+        self.retry = DEFAULT_RETRY_POLICY if retry is None else retry
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.lease_s = lease_s
+        self.register_grace_s = register_grace_s
+        self.host_loss_grace_s = host_loss_grace_s
+        self.progress = progress
+        self.on_listening = on_listening
+        #: The actually bound port (useful with ``port=0``).
+        self.bound_port: Optional[int] = None
+        self._tick_s = max(
+            0.01, min(0.25, heartbeat_timeout_s / 8, lease_s / 8)
+        )
+        self.stats: dict[str, int] = {
+            "chunks": 0,
+            "dispatches": 0,
+            "registrations": 0,
+            "host_losses": 0,
+            "steals": 0,
+            "duplicate_results": 0,
+            "degraded_points": 0,
+        }
+
+    # -- the ExecutionBackend contract ------------------------------------
+
+    def run(
+        self, configs: Iterable[SimulationConfig]
+    ) -> tuple[list[Optional[SimulationResult]], FailureReport]:
+        configs = list(configs)
+        report = FailureReport()
+        if not configs:
+            return [], report
+        cache = get_cache()
+        if cache is None:
+            results: list[Optional[SimulationResult]] = [None] * len(configs)
+            miss_indices = list(range(len(configs)))
+            miss_configs = configs
+        else:
+            results, miss_indices, miss_configs = cache.partition(configs)
+        if not miss_configs:
+            return results, report
+        chunks = list(self._chunks(miss_configs, miss_indices))
+        self.stats["chunks"] += len(chunks)
+        run = _FabricRun(
+            chunks=chunks,
+            results=results,
+            report=report,
+            cache=cache,
+            pending=deque(range(len(chunks))),
+            settled=[False] * len(chunks),
+            unsettled=len(chunks),
+        )
+        procs: list["subprocess.Popen[bytes]"] = []
+        try:
+            asyncio.run(self._serve(run, procs))
+        finally:
+            self._reap(procs)
+        if run.unsettled:
+            self._degrade_locally(run)
+        return results, report
+
+    def _chunks(
+        self, configs: list[SimulationConfig], indices: list[int]
+    ) -> Iterator[_Chunk]:
+        for start in range(0, len(configs), self.chunksize):
+            stop = start + self.chunksize
+            yield _Chunk(configs[start:stop], indices[start:stop])
+
+    # -- the asyncio fabric ------------------------------------------------
+
+    async def _serve(
+        self, run: _FabricRun, procs: list["subprocess.Popen[bytes]"]
+    ) -> None:
+        """Serve workers until every chunk settles or the fleet is gone."""
+        loop = asyncio.get_running_loop()
+        server = await asyncio.start_server(
+            partial(self._handle, run), self.host, self.port
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        self.bound_port = port
+        self._log(
+            f"coordinator listening on {host}:{port}, "
+            f"{len(run.chunks)} chunks to place"
+        )
+        try:
+            if self.on_listening is not None:
+                self.on_listening(host, port)
+            procs.extend(self._spawn(port))
+            start = loop.time()
+            run.workerless_since = start
+            while run.unsettled:
+                now = loop.time()
+                self._reap_losses(run, now)
+                self._dispatch(run, loop)
+                if (
+                    run.unsettled
+                    and not run.workers
+                    and self._should_degrade(run, procs, now, start)
+                ):
+                    break
+                await asyncio.sleep(self._tick_s)
+            await self._shutdown_workers(run)
+        finally:
+            # Closed worker connections EOF their handlers; give them a
+            # beat to unwind so loop teardown has nothing to cancel.
+            if run.handler_tasks:
+                await asyncio.wait(list(run.handler_tasks), timeout=1.0)
+            server.close()
+            try:
+                await server.wait_closed()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                pass
+
+    async def _handle(
+        self,
+        run: _FabricRun,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One worker connection: register, then heartbeats and results."""
+        loop = asyncio.get_running_loop()
+        worker_id: Optional[str] = None
+        state: Optional[_WorkerState] = None
+        task = asyncio.current_task()
+        if task is not None:
+            run.handler_tasks.add(task)
+        try:
+            message = await read_message(reader)
+            if message.get("type") != "register" or "worker_id" not in message:
+                raise DistributedError(
+                    "first message on a worker connection must be register"
+                )
+            worker_id = str(message["worker_id"])
+            if worker_id in run.workers:
+                # A rejoining worker reusing its id: the stale connection
+                # is dead weight, drop it (re-queueing any leased chunk).
+                self._lose_worker(
+                    run, worker_id, "replaced by a new registration",
+                    loop.time(),
+                )
+            state = _WorkerState(
+                worker_id=worker_id, writer=writer, last_seen=loop.time()
+            )
+            run.workers[worker_id] = state
+            run.ever_registered = True
+            self.stats["registrations"] += 1
+            self._log(
+                f"worker {worker_id} registered "
+                f"({len(run.workers)} connected)"
+            )
+            while True:
+                message = await read_message(reader)
+                kind = message.get("type")
+                if kind == "heartbeat":
+                    state.last_seen = loop.time()
+                elif kind == "result":
+                    state.last_seen = loop.time()
+                    self._settle(run, state, message)
+                else:
+                    raise DistributedError(
+                        f"coordinator received unexpected message "
+                        f"type {kind!r}"
+                    )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except asyncio.CancelledError:
+            # Loop teardown after the sweep settled: end quietly instead
+            # of letting the streams machinery log a spurious traceback.
+            return
+        except (
+            ConnectionError,
+            OSError,
+            EOFError,
+            asyncio.IncompleteReadError,
+            DistributedError,
+        ) as exc:
+            # Identity check: _lose_worker may already have evicted this
+            # connection (heartbeat miss closes the writer, which lands
+            # here) or a rejoin may have replaced it.
+            if worker_id is not None and run.workers.get(worker_id) is state:
+                self._lose_worker(run, worker_id, repr(exc), loop.time())
+        finally:
+            if task is not None:
+                run.handler_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                pass
+
+    def _dispatch(
+        self, run: _FabricRun, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Lease pending chunks to idle workers."""
+        while run.pending:
+            chunk_id = run.pending[0]
+            if run.settled[chunk_id]:
+                # A stolen copy whose original already settled.
+                run.pending.popleft()
+                continue
+            worker = next(
+                (w for w in run.workers.values() if w.chunk_id is None), None
+            )
+            if worker is None:
+                return
+            run.pending.popleft()
+            worker.chunk_id = chunk_id
+            run.leases[chunk_id] = loop.time() + self.lease_s
+            self.stats["dispatches"] += 1
+            task = loop.create_task(self._send_chunk(run, worker, chunk_id))
+            run.send_tasks.add(task)
+            task.add_done_callback(run.send_tasks.discard)
+
+    async def _send_chunk(
+        self, run: _FabricRun, state: _WorkerState, chunk_id: int
+    ) -> None:
+        chunk = run.chunks[chunk_id]
+        try:
+            await write_message(
+                state.writer,
+                {
+                    "type": "chunk",
+                    "chunk_id": chunk_id,
+                    "configs": chunk.configs,
+                    "retry": self.retry,
+                },
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if run.workers.get(state.worker_id) is state:
+                self._lose_worker(
+                    run,
+                    state.worker_id,
+                    f"chunk dispatch failed: {exc!r}",
+                    asyncio.get_running_loop().time(),
+                )
+
+    def _settle(
+        self, run: _FabricRun, state: _WorkerState, message: dict
+    ) -> None:
+        """Fold one result message in; duplicates are ignored, first wins."""
+        chunk_id = message.get("chunk_id")
+        if not isinstance(chunk_id, int) or not 0 <= chunk_id < len(run.chunks):
+            raise DistributedError(f"result for unknown chunk {chunk_id!r}")
+        chunk = run.chunks[chunk_id]
+        outcomes = message.get("outcomes")
+        if not isinstance(outcomes, list) or len(outcomes) != len(chunk.configs):
+            raise DistributedError(
+                f"worker {state.worker_id} returned "
+                f"{len(outcomes) if isinstance(outcomes, list) else '?'} "
+                f"outcomes for chunk {chunk_id} of {len(chunk.configs)} configs"
+            )
+        if state.chunk_id == chunk_id:
+            state.chunk_id = None
+        run.leases.pop(chunk_id, None)
+        if run.settled[chunk_id]:
+            # The chunk was stolen and the thief won; deterministic
+            # results make either copy equally correct.
+            self.stats["duplicate_results"] += 1
+            return
+        run.settled[chunk_id] = True
+        run.unsettled -= 1
+        self._fold(chunk, outcomes, run.results, run.report, run.cache)
+
+    def _fold(
+        self,
+        chunk: _Chunk,
+        outcomes: list[_Outcome],
+        results: list[Optional[SimulationResult]],
+        report: FailureReport,
+        cache: Optional[SweepCache],
+    ) -> None:
+        """Checkpoint one settled chunk into results, report, and cache."""
+        for (result, failure), config, index in zip(
+            outcomes, chunk.configs, chunk.indices, strict=False
+        ):
+            if failure is not None:
+                report.record(failure)
+            if result is not None and cache is not None:
+                cache.store(config, result)
+            results[index] = result
+
+    # -- fault handling ----------------------------------------------------
+
+    def _reap_losses(self, run: _FabricRun, now: float) -> None:
+        """Declare heartbeat-missing workers lost, steal expired leases."""
+        for worker_id, state in list(run.workers.items()):
+            silence = now - state.last_seen
+            if silence > self.heartbeat_timeout_s:
+                self._lose_worker(
+                    run, worker_id,
+                    f"missed heartbeats for {silence:.2f}s", now,
+                )
+        for chunk_id, deadline in list(run.leases.items()):
+            if now <= deadline:
+                continue
+            run.leases.pop(chunk_id)
+            if run.settled[chunk_id]:
+                continue
+            self.stats["steals"] += 1
+            self._requeue(
+                run, chunk_id,
+                outcome="lease-expired",
+                error=(
+                    f"lease on chunk {chunk_id} expired after "
+                    f"{self.lease_s:g}s; chunk re-dispatched"
+                ),
+            )
+
+    def _lose_worker(
+        self, run: _FabricRun, worker_id: str, reason: str, now: float
+    ) -> None:
+        """Evict one worker, re-queueing whatever chunk it was leased."""
+        state = run.workers.pop(worker_id, None)
+        if state is None:
+            return
+        self.stats["host_losses"] += 1
+        self._log(f"worker {worker_id} lost: {reason}")
+        chunk_id = state.chunk_id
+        if chunk_id is not None:
+            run.leases.pop(chunk_id, None)
+            if not run.settled[chunk_id]:
+                self._requeue(
+                    run, chunk_id,
+                    outcome="host-lost",
+                    error=(
+                        f"worker {worker_id} lost ({reason}); "
+                        "chunk re-dispatched"
+                    ),
+                )
+        state.writer.close()
+        if not run.workers:
+            run.workerless_since = now
+
+    def _requeue(
+        self, run: _FabricRun, chunk_id: int, *, outcome: str, error: str
+    ) -> None:
+        """Put a chunk back on the queue, recording a recovered incident."""
+        chunk = run.chunks[chunk_id]
+        run.pending.append(chunk_id)
+        run.report.record(
+            PointFailure(
+                fingerprint=chunk.configs[0].fingerprint(),
+                outcome=outcome,
+                attempts=1,
+                error=error,
+                recovered=True,
+                points=len(chunk.configs),
+            )
+        )
+
+    def _should_degrade(
+        self,
+        run: _FabricRun,
+        procs: list["subprocess.Popen[bytes]"],
+        now: float,
+        start: float,
+    ) -> bool:
+        """True when no worker is left and none can plausibly come back.
+
+        Called only while ``run.workers`` is empty. Spawned worker
+        processes still alive get ``register_grace_s`` to (re)register;
+        external workers get ``host_loss_grace_s`` to rejoin after a
+        loss (and ``register_grace_s`` to appear at all).
+        """
+        spawned_alive = any(proc.poll() is None for proc in procs)
+        if spawned_alive:
+            since = start if not run.ever_registered else run.workerless_since
+            return now - since > self.register_grace_s
+        if procs and not run.ever_registered:
+            # Every spawned worker died before registering; nothing to
+            # wait for.
+            return True
+        if not run.ever_registered:
+            return now - start > self.register_grace_s
+        return now - run.workerless_since > self.host_loss_grace_s
+
+    def _degrade_locally(self, run: _FabricRun) -> None:
+        """Finish every unsettled chunk in-process: slower, never stuck."""
+        remaining = [
+            chunk_id
+            for chunk_id in range(len(run.chunks))
+            if not run.settled[chunk_id]
+        ]
+        points = sum(len(run.chunks[c].configs) for c in remaining)
+        self.stats["degraded_points"] += points
+        self._log(
+            f"no live workers remain; degrading {points} points over "
+            f"{len(remaining)} chunks to local execution"
+        )
+        run.report.record(
+            PointFailure(
+                fingerprint=run.chunks[remaining[0]].configs[0].fingerprint(),
+                outcome="degraded-local",
+                attempts=1,
+                error=(
+                    "every worker was lost; remaining chunks ran locally "
+                    "through the resilience path"
+                ),
+                recovered=True,
+                points=points,
+            )
+        )
+        for chunk_id in remaining:
+            chunk = run.chunks[chunk_id]
+            outcomes = run_worker_chunk(chunk.configs, self.retry)
+            run.settled[chunk_id] = True
+            run.unsettled -= 1
+            self._fold(chunk, outcomes, run.results, run.report, run.cache)
+
+    # -- worker lifecycle --------------------------------------------------
+
+    async def _shutdown_workers(self, run: _FabricRun) -> None:
+        """Best-effort shutdown notices so workers exit instead of rejoin."""
+        for state in list(run.workers.values()):
+            try:
+                await write_message(state.writer, {"type": "shutdown"})
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                pass
+            state.writer.close()
+        run.workers.clear()
+
+    def _spawn(self, port: int) -> list["subprocess.Popen[bytes]"]:
+        """Launch the loopback worker fleet (``spawn_workers`` strong)."""
+        procs: list["subprocess.Popen[bytes]"] = []
+        if not self.spawn_workers:
+            return procs
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[3])
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_root + os.pathsep + existing if existing else src_root
+            )
+        for index in range(self.spawn_workers):
+            command = [
+                sys.executable, "-m", "repro", "worker",
+                "--host", self.host,
+                "--port", str(port),
+                "--worker-id", f"spawned-{index}",
+                "--heartbeat", str(self.heartbeat_s),
+            ]
+            if self.progress is None:
+                command.append("--quiet")
+            procs.append(
+                subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+            )
+        self._log(f"spawned {len(procs)} loopback workers")
+        return procs
+
+    @staticmethod
+    def _reap(procs: list["subprocess.Popen[bytes]"]) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    pass
+
+    def _log(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedBackend(spawn_workers={self.spawn_workers}, "
+            f"chunksize={self.chunksize})"
+        )

@@ -1,0 +1,114 @@
+"""Wire protocol for the distributed sweep fabric.
+
+Coordinator and workers speak length-prefixed, digest-checked pickle
+frames over a plain TCP stream::
+
+    +--------------+------------------+---------------------+
+    | length (4B)  | sha256(payload)  | payload (pickle)    |
+    +--------------+------------------+---------------------+
+
+The digest is not a security measure (pickle over a socket is only safe
+between mutually trusted hosts — see docs/architecture.md); it exists so
+a corrupted frame (a flaky link, or the chaos harness's
+``corrupt-payload`` fault) is *detected* at the receiver and surfaces as
+a :class:`~repro.errors.DistributedError` instead of a garbage result.
+The coordinator treats any protocol error on a connection as a host
+fault: the worker's chunk is re-dispatched and the sweep continues.
+
+Message vocabulary (plain dicts, ``type`` selects):
+
+==================  =========================================================
+``register``        worker -> coordinator: ``worker_id``
+``chunk``           coordinator -> worker: ``chunk_id``, ``configs``,
+                    ``retry`` (a pickled :class:`RetryPolicy`)
+``result``          worker -> coordinator: ``chunk_id``, ``worker_id``,
+                    ``outcomes`` (the :func:`run_chunk` per-point shape)
+``heartbeat``       worker -> coordinator: ``worker_id``, ``busy``
+``shutdown``        coordinator -> worker: sweep complete, exit cleanly
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import pickle
+import struct
+from typing import Any
+
+from ...errors import DistributedError
+
+#: Frame header: payload length (uint32, big endian).
+_LENGTH = struct.Struct(">I")
+
+#: Hard bound on one frame; a chunk of configs plus results is far below
+#: this, so anything larger is a framing error, not data.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+def encode_frame(message: dict[str, Any], *, corrupt: bool = False) -> bytes:
+    """One wire frame for *message*.
+
+    ``corrupt=True`` flips a payload byte *after* the digest is computed
+    — the chaos harness's ``corrupt-payload`` fault — so the receiver's
+    digest check must reject the frame.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise DistributedError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    digest = hashlib.sha256(payload).digest()
+    if corrupt:
+        payload = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+    return _LENGTH.pack(len(payload)) + digest + payload
+
+
+def decode_payload(digest: bytes, payload: bytes) -> dict[str, Any]:
+    """Verify and unpickle one frame body (header already consumed)."""
+    if hashlib.sha256(payload).digest() != digest:
+        raise DistributedError(
+            "frame payload digest mismatch (corrupt or tampered payload)"
+        )
+    try:
+        message = pickle.loads(payload)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        raise DistributedError(f"frame payload does not unpickle: {exc!r}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise DistributedError("frame payload is not a typed message dict")
+    return message
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one message; raises on EOF, digest mismatch, or bad frames.
+
+    EOF mid-frame raises ``asyncio.IncompleteReadError`` (a clean EOF at
+    a frame boundary too — the caller treats any of these as the peer
+    leaving).
+    """
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise DistributedError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    digest = await reader.readexactly(_DIGEST_BYTES)
+    payload = await reader.readexactly(length)
+    return decode_payload(digest, payload)
+
+
+async def write_message(
+    writer: asyncio.StreamWriter,
+    message: dict[str, Any],
+    *,
+    corrupt: bool = False,
+) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode_frame(message, corrupt=corrupt))
+    await writer.drain()

@@ -1,0 +1,258 @@
+"""The remote sweep worker behind ``repro worker``.
+
+A worker is a tiny asyncio client around the unchanged PR-5 resilience
+path: it registers with a coordinator, receives chunks, runs every point
+through :func:`~repro.harness.resilience.run_point` (per-point
+``RetryPolicy``, timeouts, chaos injection — all exactly as a process
+pool worker would), and sends the per-point outcomes back. Heartbeats
+flow on a side task so the coordinator can tell a slow worker from a
+dead one.
+
+Results are deterministic functions of their configs, so *which* worker
+computes a chunk never matters — the coordinator may freely steal and
+re-dispatch, and duplicated computation (a stolen chunk whose original
+host later delivers) is just wasted wall clock, never wrong data.
+
+Shared result store: :func:`run_worker_chunk` consults the active sweep
+cache (including its ``REPRO_RESULT_STORE`` read-through layer) before
+simulating each point and stores fresh results back, so a point any
+host has ever computed is answered from the store, and a worker's work
+survives even if its result frame is lost on the way home.
+
+Chaos: network fault flavors (``disconnect``, ``stall-heartbeat``,
+``slow-host``, ``corrupt-payload``) are claimed per chunk via
+:func:`~repro.harness.chaos.claim_network_fault` and applied *here*, at
+the fabric layer — the simulation path stays untouched, so chaos-faulted
+sweeps remain bit-identical to clean ones once the coordinator recovers
+the lost chunks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import time
+from typing import Optional, cast
+
+from ...config import SimulationConfig
+from ...errors import DistributedError
+from ...network.simulator import SimulationResult
+from ..cache import get_cache
+from ..chaos import active_plan, claim_network_fault
+from ..resilience import PointFailure, RetryPolicy, run_point
+from .protocol import read_message, write_message
+
+#: How many lost-connection rejoin attempts a worker makes before giving
+#: up (the coordinator is presumed gone for good).
+DEFAULT_MAX_REJOINS = 20
+
+
+def run_worker_chunk(
+    configs: list[SimulationConfig], policy: RetryPolicy
+) -> list[tuple[Optional[SimulationResult], Optional[PointFailure]]]:
+    """The distributed work unit: resilient points, store-aware.
+
+    Same per-point shape as :func:`~repro.harness.resilience.run_chunk`,
+    plus shared-result-store semantics: each point consults the active
+    sweep cache first (a hit skips the simulation entirely — another
+    host may have computed it) and stores fresh results immediately, so
+    completed work is durable even if this worker dies before its result
+    frame reaches the coordinator.
+
+    Top-level and picklable on purpose; also a lint R11 worker entry
+    point — nothing reachable from here may mutate process-global state.
+    """
+    cache = get_cache()
+    outcomes: list[tuple[Optional[SimulationResult], Optional[PointFailure]]] = []
+    for config in configs:
+        if cache is not None:
+            cached = cache.load(config)
+            if cached is not None:
+                cache.hits += 1
+                outcomes.append((cast(SimulationResult, cached), None))
+                continue
+            cache.misses += 1
+        result, failure = run_point(config, policy)
+        if result is not None and cache is not None:
+            cache.store(config, result)
+        outcomes.append((result, failure))
+    return outcomes
+
+
+async def _heartbeats(
+    writer: asyncio.StreamWriter,
+    worker_id: str,
+    interval_s: float,
+    busy: list[bool],
+) -> None:
+    """Side task: announce liveness + progress until cancelled."""
+    try:
+        while True:
+            await asyncio.sleep(interval_s)
+            await write_message(
+                writer,
+                {"type": "heartbeat", "worker_id": worker_id, "busy": busy[0]},
+            )
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception:
+        # The connection died under us; the main read loop is about to
+        # notice the same thing and drive the rejoin, so just stop.
+        return
+
+
+async def _session(
+    host: str,
+    port: int,
+    worker_id: str,
+    heartbeat_s: float,
+    log: "_Logger",
+) -> str:
+    """One coordinator connection; returns ``"shutdown"`` or ``"lost"``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    busy = [False]
+    heartbeat_task: Optional[asyncio.Task[None]] = None
+    try:
+        await write_message(
+            writer, {"type": "register", "worker_id": worker_id}
+        )
+        log(f"registered with coordinator at {host}:{port}")
+        heartbeat_task = asyncio.create_task(
+            _heartbeats(writer, worker_id, heartbeat_s, busy)
+        )
+        loop = asyncio.get_running_loop()
+        while True:
+            message = await read_message(reader)
+            kind = message.get("type")
+            if kind == "shutdown":
+                log("coordinator reports sweep complete; exiting")
+                return "shutdown"
+            if kind != "chunk":
+                raise DistributedError(
+                    f"worker received unexpected message type {kind!r}"
+                )
+            configs: list[SimulationConfig] = message["configs"]
+            chunk_id: int = message["chunk_id"]
+            retry: RetryPolicy = message["retry"]
+            fault = claim_network_fault(configs[0].fingerprint())
+            if fault == "disconnect":
+                # A mid-run network partition: drop the link on the
+                # floor without computing; the coordinator re-dispatches.
+                log(f"chaos: disconnecting while holding chunk {chunk_id}")
+                cast(asyncio.WriteTransport, writer.transport).abort()
+                return "lost"
+            if fault == "stall-heartbeat":
+                plan = active_plan()
+                stall_s = plan.stall_s if plan is not None else 0.0
+                log(f"chaos: freezing for {stall_s:g}s (heartbeats stalled)")
+                # Deliberately *blocking*: a frozen host stops answering
+                # heartbeats too, which is exactly what the coordinator's
+                # liveness tracking must catch.
+                time.sleep(stall_s)
+            busy[0] = True
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, run_worker_chunk, configs, retry
+                )
+            finally:
+                busy[0] = False
+            if fault == "slow-host":
+                plan = active_plan()
+                delay_s = plan.slow_host_s if plan is not None else 0.0
+                log(f"chaos: delaying result of chunk {chunk_id} by {delay_s:g}s")
+                await asyncio.sleep(delay_s)
+            await write_message(
+                writer,
+                {
+                    "type": "result",
+                    "chunk_id": chunk_id,
+                    "worker_id": worker_id,
+                    "outcomes": outcomes,
+                },
+                corrupt=fault == "corrupt-payload",
+            )
+            if fault == "corrupt-payload":
+                log(f"chaos: sent corrupted result frame for chunk {chunk_id}")
+    finally:
+        if heartbeat_task is not None:
+            heartbeat_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            pass
+
+
+class _Logger:
+    """Prefix-stamped stderr logging, silenced when quiet."""
+
+    def __init__(self, worker_id: str, quiet: bool) -> None:
+        self.worker_id = worker_id
+        self.quiet = quiet
+
+    def __call__(self, line: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.worker_id}] {line}", file=sys.stderr)
+
+
+async def _worker_main(
+    host: str,
+    port: int,
+    worker_id: str,
+    heartbeat_s: float,
+    rejoin_delay_s: float,
+    max_rejoins: int,
+    quiet: bool,
+) -> int:
+    log = _Logger(worker_id, quiet)
+    rejoins = 0
+    while True:
+        try:
+            outcome = await _session(host, port, worker_id, heartbeat_s, log)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except (ConnectionError, OSError, EOFError, asyncio.IncompleteReadError,
+                DistributedError) as exc:
+            log(f"connection lost: {exc!r}")
+            outcome = "lost"
+        if outcome == "shutdown":
+            return 0
+        rejoins += 1
+        if rejoins > max_rejoins:
+            log(f"giving up after {max_rejoins} rejoin attempts")
+            return 1
+        await asyncio.sleep(rejoin_delay_s)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: Optional[str] = None,
+    heartbeat_s: float = 0.5,
+    rejoin_delay_s: float = 0.5,
+    max_rejoins: int = DEFAULT_MAX_REJOINS,
+    quiet: bool = True,
+) -> int:
+    """Blocking worker entry point behind ``repro worker``.
+
+    Connects to the coordinator at ``host:port``, serves chunks until
+    the coordinator sends ``shutdown`` (exit 0), and survives connection
+    loss by rejoining — a worker the coordinator declared dead (stalled
+    heartbeats, stolen lease, corrupt frame) re-registers as a fresh
+    host and keeps serving. After *max_rejoins* consecutive failed
+    attempts the coordinator is presumed gone and the worker exits 1.
+    """
+    if port <= 0:
+        raise DistributedError(f"worker needs a positive port, got {port}")
+    if worker_id is None:
+        worker_id = f"worker-{os.getpid()}"
+    return asyncio.run(
+        _worker_main(
+            host, port, worker_id, heartbeat_s, rejoin_delay_s, max_rejoins,
+            quiet,
+        )
+    )

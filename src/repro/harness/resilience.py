@@ -35,8 +35,16 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Iterator, Optional, Sequence
 
+try:  # pragma: no cover - absent only on non-CPython runtimes
+    import ctypes
+
+    _HAS_ASYNC_EXC = hasattr(ctypes, "pythonapi")
+except ImportError:  # pragma: no cover
+    ctypes = None  # type: ignore[assignment]
+    _HAS_ASYNC_EXC = False
+
 from ..config import SimulationConfig
-from ..errors import ExperimentError, SweepExecutionError
+from ..errors import ConfigError, ExperimentError, SweepExecutionError
 from ..network.simulator import SimulationResult
 from .chaos import inject_point_fault
 from .runner import run_simulation
@@ -56,8 +64,10 @@ class RetryPolicy:
     ``jitter`` (a fraction in ``[0, 1]``) using a generator seeded from
     ``(jitter_seed, fingerprint, n)`` — the same point always backs off
     identically, but different points decorrelate. ``timeout_s`` bounds
-    one attempt's wall clock (enforced with ``SIGALRM``, so it is a no-op
-    off the main thread or on platforms without it).
+    one attempt's wall clock: ``SIGALRM`` on the main thread, an
+    async-exception watchdog off it (see :func:`_deadline`); when neither
+    is available the policy refuses to run rather than silently dropping
+    the protection.
     """
 
     max_attempts: int = 2
@@ -172,28 +182,90 @@ class FailureReport:
 def _deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`PointTimeout` if the block exceeds *seconds*.
 
-    Uses ``SIGALRM``/``setitimer``, which only works on the main thread
-    of a process (true for serial runs and for pool worker processes);
-    anywhere else the deadline is silently not enforced.
+    On the main thread of a Unix process (serial runs, process-pool
+    workers) the deadline is a ``SIGALRM``/``setitimer``. Off the main
+    thread — distributed workers run chunks inside an asyncio executor
+    thread — signals cannot be armed, so a monotonic watchdog timer
+    delivers :class:`PointTimeout` asynchronously into the running
+    thread instead (:func:`_watchdog_deadline`). A timeout is therefore
+    *always* enforced; if neither mechanism exists on the platform, a
+    :class:`~repro.errors.ConfigError` says so loudly rather than
+    silently dropping the protection.
     """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if seconds is None:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _trip(signum: int, frame: object) -> None:
+            raise PointTimeout(f"point exceeded {seconds:g}s wall clock")
 
-    def _trip(signum: int, frame: object) -> None:
-        raise PointTimeout(f"point exceeded {seconds:g}s wall clock")
+        previous = signal.signal(signal.SIGALRM, _trip)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+    if not _HAS_ASYNC_EXC:
+        raise ConfigError(
+            "per-point timeout_s cannot be enforced here: SIGALRM is "
+            "unavailable off the main thread and this runtime has no "
+            "PyThreadState_SetAsyncExc fallback; drop timeout_s or run "
+            "points on the main thread"
+        )
+    with _watchdog_deadline(seconds):
+        yield
 
-    previous = signal.signal(signal.SIGALRM, _trip)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+
+@contextmanager
+def _watchdog_deadline(seconds: float) -> Iterator[None]:
+    """Off-main-thread deadline: a watchdog timer asynchronously raises
+    :class:`PointTimeout` in the calling thread after *seconds*.
+
+    Uses ``PyThreadState_SetAsyncExc``, which delivers the exception at
+    the next bytecode boundary — it interrupts pure-Python work (the
+    simulator kernel) but not a blocking C call, which only trips the
+    deadline once it returns. Disarm is race-guarded: after the block
+    exits the watchdog can no longer raise, and a pending undelivered
+    exception is cleared.
+    """
+    thread_id = threading.get_ident()
+    lock = threading.Lock()
+    armed = [True]
+    message = f"point exceeded {seconds:g}s wall clock"
+
+    # PyThreadState_SetAsyncExc only accepts an exception *class* (an
+    # instance trips SystemError at delivery), so the deadline message
+    # rides in via a closure subclass instantiated at raise time.
+    class _Expired(PointTimeout):
+        def __init__(self) -> None:
+            super().__init__(message)
+
+    def _fire() -> None:
+        with lock:
+            if armed[0]:
+                ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                    ctypes.c_ulong(thread_id), ctypes.py_object(_Expired)
+                )
+
+    watchdog = threading.Timer(seconds, _fire)
+    watchdog.daemon = True
+    watchdog.start()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        with lock:
+            armed[0] = False
+            watchdog.cancel()
+            # Clear a fired-but-undelivered exception so it cannot leak
+            # into unrelated code after the protected block.
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(thread_id), None
+            )
 
 
 def run_point(

@@ -1,0 +1,303 @@
+"""The distributed sweep fabric: protocol, coordinator, fault recovery.
+
+These tests run workers as in-process threads (``run_worker`` is just a
+blocking function around an asyncio client), so every fabric path —
+registration, dispatch, heartbeat loss, lease stealing, corrupt frames,
+degrade-to-local — is exercised without subprocess startup cost. The
+chaos acceptance test with real killed worker *processes* lives in
+``test_distributed_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+
+import pytest
+
+from repro.errors import DistributedError, ExperimentError
+from repro.harness.backends import SerialBackend, make_backend
+from repro.harness.cache import SweepCache, set_cache
+from repro.harness.chaos import ChaosPlan, set_plan
+from repro.harness.distributed import (
+    MAX_FRAME_BYTES,
+    DistributedBackend,
+    decode_payload,
+    encode_frame,
+    read_message,
+    run_worker,
+)
+from repro.harness.resilience import RetryPolicy
+
+from .conftest import small_config
+
+
+def _configs(*rates: float):
+    return [small_config(rate=r, warmup=100, measure=400) for r in rates]
+
+
+def _attach_threads(count: int, threads: list, **worker_kwargs):
+    """An ``on_listening`` callback starting *count* worker threads."""
+
+    def attach(host: str, port: int) -> None:
+        for index in range(count):
+            thread = threading.Thread(
+                target=run_worker,
+                args=(host, port),
+                kwargs={
+                    "worker_id": f"thread-{index}",
+                    "heartbeat_s": 0.05,
+                    "rejoin_delay_s": 0.1,
+                    **worker_kwargs,
+                },
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+    return attach
+
+
+def _fast_backend(threads: list, workers: int = 1, **kwargs) -> DistributedBackend:
+    defaults = dict(
+        heartbeat_s=0.05,
+        heartbeat_timeout_s=0.4,
+        lease_s=10.0,
+        register_grace_s=10.0,
+        host_loss_grace_s=3.0,
+        on_listening=_attach_threads(workers, threads),
+    )
+    defaults.update(kwargs)
+    return DistributedBackend(**defaults)
+
+
+def _join_all(threads: list) -> None:
+    for thread in threads:
+        thread.join(timeout=10)
+    assert all(not t.is_alive() for t in threads)
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        message = {"type": "heartbeat", "worker_id": "w0", "busy": False}
+        frame = encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        digest, payload = frame[4:36], frame[36:]
+        assert length == len(payload)
+        assert decode_payload(digest, payload) == message
+
+    def test_corrupt_flag_defeats_the_digest(self):
+        frame = encode_frame({"type": "shutdown"}, corrupt=True)
+        with pytest.raises(DistributedError, match="digest mismatch"):
+            decode_payload(frame[4:36], frame[36:])
+
+    def test_payload_must_be_a_typed_dict(self):
+        frame = encode_frame({"type": "x"})
+        # Re-frame a non-dict payload by hand.
+        import hashlib
+        import pickle
+
+        payload = pickle.dumps([1, 2, 3])
+        with pytest.raises(DistributedError, match="typed message"):
+            decode_payload(hashlib.sha256(payload).digest(), payload)
+
+    def test_read_message_roundtrip_and_length_bound(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "shutdown"}))
+            message = await read_message(reader)
+            assert message == {"type": "shutdown"}
+
+            huge = asyncio.StreamReader()
+            huge.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1) + b"\0" * 32)
+            with pytest.raises(DistributedError, match="exceeds"):
+                await read_message(huge)
+
+        asyncio.run(scenario())
+
+    def test_eof_mid_frame_raises_incomplete_read(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "shutdown"})[:10])
+            reader.feed_eof()
+            with pytest.raises(asyncio.IncompleteReadError):
+                await read_message(reader)
+
+        asyncio.run(scenario())
+
+
+class TestDistributedBackend:
+    def test_clean_sweep_is_bit_identical_to_serial(self):
+        configs = _configs(0.2, 0.3, 0.4, 0.5)
+        expected, _ = SerialBackend().run(configs)
+        threads: list = []
+        backend = _fast_backend(threads, workers=2)
+        results, report = backend.run(configs)
+        _join_all(threads)
+        assert results == expected
+        assert report.ok and not report.incidents
+        assert backend.stats["registrations"] == 2
+        assert backend.stats["chunks"] == len(configs)
+        assert backend.stats["dispatches"] == len(configs)
+        assert backend.stats["host_losses"] == 0
+
+    def test_empty_batch(self):
+        results, report = DistributedBackend(register_grace_s=0.1).run([])
+        assert results == [] and report.ok
+
+    def test_no_workers_degrades_to_local(self):
+        configs = _configs(0.2, 0.3)
+        expected, _ = SerialBackend().run(configs)
+        backend = DistributedBackend(register_grace_s=0.2)
+        results, report = backend.run(configs)
+        assert results == expected
+        assert report.ok
+        assert [i.outcome for i in report.incidents] == ["degraded-local"]
+        assert backend.stats["degraded_points"] == len(configs)
+
+    def test_chunks_checkpoint_to_the_cache_and_resume(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        set_cache(cache)
+        configs = _configs(0.2, 0.3, 0.4)
+        threads: list = []
+        first = _fast_backend(threads, workers=1)
+        results, report = first.run(configs)
+        _join_all(threads)
+        assert report.ok
+        assert all(cache.contains(config) for config in configs)
+        # Resume: everything replays from checkpoints; the fabric never
+        # starts (no chunks survive the cache partition).
+        second = DistributedBackend(register_grace_s=0.1)
+        again, report2 = second.run(configs)
+        assert again == results
+        assert report2.ok and not report2.incidents
+        assert second.stats["chunks"] == 0
+        assert cache.hits == len(configs)
+
+    def test_worker_cache_hits_skip_recompute(self, tmp_path):
+        """run_worker_chunk consults the cache per point (shared-store
+        semantics): pre-stored points are answered without simulating."""
+        from repro.harness.distributed import run_worker_chunk
+
+        cache = SweepCache(tmp_path / "cache")
+        set_cache(cache)
+        configs = _configs(0.2, 0.3)
+        expected, _ = SerialBackend().run(configs)  # also stores both
+        assert cache.hits == 0
+        outcomes = run_worker_chunk(configs, RetryPolicy())
+        assert [result for result, _ in outcomes] == expected
+        assert cache.hits == len(configs)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="spawn_workers"):
+            DistributedBackend(spawn_workers=-1)
+        with pytest.raises(ExperimentError, match="chunksize"):
+            DistributedBackend(chunksize=0)
+        with pytest.raises(ExperimentError, match="heartbeat_timeout_s"):
+            DistributedBackend(heartbeat_s=1.0, heartbeat_timeout_s=0.5)
+        with pytest.raises(ExperimentError, match="lease_s"):
+            DistributedBackend(lease_s=0.0)
+        with pytest.raises(ExperimentError, match="grace"):
+            DistributedBackend(register_grace_s=-1.0)
+
+    def test_make_backend_wiring(self):
+        backend = make_backend(1, backend="distributed", workers=3, chunksize=2)
+        assert isinstance(backend, DistributedBackend)
+        assert backend.spawn_workers == 3
+        assert backend.chunksize == 2
+        with pytest.raises(ExperimentError, match="scalar chunks"):
+            make_backend(1, backend="distributed", kernel="batched")
+        with pytest.raises(ExperimentError, match="unknown backend"):
+            make_backend(1, backend="carrier-pigeon")
+
+
+class TestFaultRecovery:
+    """Seeded network chaos against in-thread workers: every fault is
+    recovered and the sweep stays bit-identical to a clean serial run."""
+
+    def _expected(self, configs):
+        set_cache(None)
+        expected, _ = SerialBackend().run(configs)
+        return expected
+
+    def test_disconnect_recovers_via_host_loss(self, tmp_path):
+        configs = _configs(0.2, 0.3)
+        expected = self._expected(configs)
+        set_plan(ChaosPlan(disconnect_rate=1.0, state_dir=str(tmp_path)))
+        threads: list = []
+        backend = _fast_backend(threads, workers=1)
+        results, report = backend.run(configs)
+        _join_all(threads)
+        assert results == expected
+        assert report.ok
+        assert backend.stats["host_losses"] >= 1
+        assert any(i.outcome == "host-lost" for i in report.incidents)
+
+    def test_stalled_heartbeats_mark_the_host_lost(self, tmp_path):
+        configs = _configs(0.2)
+        expected = self._expected(configs)
+        set_plan(
+            ChaosPlan(
+                stall_heartbeat_rate=1.0, stall_s=1.0,
+                state_dir=str(tmp_path),
+            )
+        )
+        threads: list = []
+        backend = _fast_backend(threads, workers=1, heartbeat_timeout_s=0.3)
+        results, report = backend.run(configs)
+        _join_all(threads)
+        assert results == expected
+        assert report.ok
+        assert any(
+            i.outcome == "host-lost" and "missed heartbeats" in i.error
+            for i in report.incidents
+        )
+
+    def test_slow_host_triggers_lease_stealing(self, tmp_path):
+        configs = _configs(0.2, 0.3)
+        expected = self._expected(configs)
+        set_plan(
+            ChaosPlan(
+                slow_host_rate=1.0, slow_host_s=1.0, state_dir=str(tmp_path)
+            )
+        )
+        threads: list = []
+        backend = _fast_backend(threads, workers=1, lease_s=0.3)
+        results, report = backend.run(configs)
+        _join_all(threads)
+        assert results == expected
+        assert report.ok
+        assert backend.stats["steals"] >= 1
+        assert any(i.outcome == "lease-expired" for i in report.incidents)
+
+    def test_corrupt_result_frame_is_rejected_and_redispatched(self, tmp_path):
+        configs = _configs(0.2)
+        expected = self._expected(configs)
+        set_plan(
+            ChaosPlan(corrupt_payload_rate=1.0, state_dir=str(tmp_path))
+        )
+        threads: list = []
+        backend = _fast_backend(threads, workers=1)
+        results, report = backend.run(configs)
+        _join_all(threads)
+        assert results == expected
+        assert report.ok
+        assert any(
+            i.outcome == "host-lost" and "digest mismatch" in i.error
+            for i in report.incidents
+        )
+
+
+class TestWorkerEntry:
+    def test_worker_rejects_bad_port(self):
+        with pytest.raises(DistributedError, match="positive port"):
+            run_worker("127.0.0.1", 0)
+
+    def test_worker_gives_up_when_no_coordinator_exists(self):
+        # Nothing listens on this port; the worker exhausts its rejoin
+        # budget and reports failure instead of spinning forever.
+        status = run_worker(
+            "127.0.0.1", 1, max_rejoins=1, rejoin_delay_s=0.01
+        )
+        assert status == 1

@@ -1304,3 +1304,75 @@ class TestSuppressions:
         )
         assert linter.run() == []
         assert linter.suppressed_counts == {"R1": 1}
+
+
+class TestDistributedFabricCoverage:
+    """The distributed fabric package sits inside the R7/R11 net: its
+    modules are harness paths, and its work unit is an entry point."""
+
+    def test_r7_covers_the_distributed_package(self):
+        source = """
+            def relay(send, message):
+                try:
+                    send(message)
+                except Exception:
+                    return None
+            """
+        violations = _lint_source(
+            source, "src/repro/harness/distributed/worker.py"
+        )
+        assert [v.rule for v in violations] == ["R7"]
+
+    def test_r7_accepts_the_fabric_teardown_idiom(self):
+        """``except asyncio.CancelledError`` is a *specific* handler —
+        the coordinator's quiet-teardown idiom must not need pragmas."""
+        source = """
+            import asyncio
+
+            async def handle(reader):
+                try:
+                    return await reader.read()
+                except asyncio.CancelledError:
+                    return None
+            """
+        assert _lint_source(
+            source, "src/repro/harness/distributed/coordinator.py"
+        ) == []
+
+    def test_run_worker_chunk_is_a_worker_entry_point(self):
+        from repro.analysis.isolation import WORKER_ENTRY_POINTS
+
+        assert "run_worker_chunk" in WORKER_ENTRY_POINTS
+        source = """
+            _SEEN = []
+
+            def run_worker_chunk(configs, policy):
+                _SEEN.append(configs)
+                return configs
+            """
+        violations = _lint_source(
+            source, "src/repro/harness/distributed/worker.py"
+        )
+        assert [v.rule for v in violations] == ["R11"]
+        assert "run_worker_chunk" in violations[0].message
+        assert "_SEEN" in violations[0].message
+
+    def test_mutation_behind_the_fabric_entry_point_flagged_with_chain(self):
+        source = """
+            _STATS = {}
+
+            def _bump(key):
+                _STATS[key] = _STATS.get(key, 0) + 1
+
+            def run_worker_chunk(configs, policy):
+                _bump("chunks")
+                return configs
+            """
+        violations = _lint_source(
+            source, "src/repro/harness/distributed/worker.py"
+        )
+        assert [v.rule for v in violations] == ["R11"]
+        assert (
+            "run_worker_chunk -> "
+            "repro.harness.distributed.worker._bump" in violations[0].message
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -234,3 +235,159 @@ class TestFailureReport:
         assert "failed (worker-crash)" in lost.describe()
         saved = self._failure(recovered=True)
         assert "recovered" in saved.describe()
+
+
+class TestFailureReportMergeEdgeCases:
+    """Merge semantics the distributed coordinator leans on: per-shard
+    reports concatenate without deduplication or reordering."""
+
+    def _failure(self, fingerprint: str, **overrides) -> PointFailure:
+        values = dict(
+            fingerprint=fingerprint, outcome="raised", attempts=1,
+            error="ValueError('x')",
+        )
+        values.update(overrides)
+        return PointFailure(**values)
+
+    def test_merging_an_empty_report_is_identity_both_ways(self):
+        report = FailureReport()
+        report.record(self._failure("a" * 64))
+        report.record(self._failure("b" * 64, recovered=True))
+        before = (list(report.failures), list(report.incidents))
+        report.merge(FailureReport())
+        assert (report.failures, report.incidents) == before
+
+        fresh = FailureReport()
+        fresh.merge(report)
+        assert (fresh.failures, fresh.incidents) == before
+        assert FailureReport().ok  # and two empties merge to an empty
+        empty = FailureReport()
+        empty.merge(FailureReport())
+        assert not empty.failures and not empty.incidents
+
+    def test_overlapping_fingerprints_keep_every_record(self):
+        """The same point can fail in two shards (a stolen chunk whose
+        original and thief both died): merge must not collapse them —
+        each record carries its own outcome and attempt count."""
+        fingerprint = "f" * 64
+        left, right = FailureReport(), FailureReport()
+        left.record(self._failure(fingerprint, outcome="timeout"))
+        right.record(self._failure(fingerprint, outcome="raised", attempts=2))
+        right.record(self._failure(fingerprint, recovered=True,
+                                   outcome="host-lost"))
+        left.merge(right)
+        assert len(left.failures) == 2
+        assert {f.outcome for f in left.failures} == {"timeout", "raised"}
+        assert all(f.fingerprint == fingerprint for f in left.failures)
+        assert len(left.incidents) == 1
+        assert not left.ok
+
+    def test_merge_preserves_incident_ordering(self):
+        """Receiver's records stay first, source's follow in their own
+        order — so a campaign-level report reads chronologically."""
+        left, right = FailureReport(), FailureReport()
+        left.record(self._failure("a" * 64, recovered=True))
+        left.record(self._failure("b" * 64, recovered=True))
+        right.record(self._failure("c" * 64, recovered=True))
+        right.record(self._failure("d" * 64, recovered=True))
+        left.merge(right)
+        assert [i.fingerprint[0] for i in left.incidents] == ["a", "b", "c", "d"]
+        # A second merge appends again; merge is not idempotent by design.
+        left.merge(right)
+        assert [i.fingerprint[0] for i in left.incidents] == [
+            "a", "b", "c", "d", "c", "d",
+        ]
+
+
+def _in_thread(fn):
+    """Run *fn* on a fresh non-main thread, re-raising what it raised."""
+    box: dict = {}
+
+    def target():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class TestOffMainThreadTimeout:
+    """timeout_s away from the main thread: SIGALRM cannot be armed
+    there, so the watchdog fallback must enforce the deadline instead
+    (distributed workers run chunks inside an asyncio executor thread)."""
+
+    def test_timeout_trips_in_a_worker_thread(self):
+        def stall(config):
+            time.sleep(5.0)
+            return "too late"
+
+        result, failure = _in_thread(
+            lambda: run_point(
+                _config(),
+                RetryPolicy(max_attempts=1, timeout_s=0.05),
+                runner=stall,
+                sleep=lambda s: None,
+            )
+        )
+        assert result is None
+        assert failure.outcome == "timeout"
+        assert "0.05" in failure.error
+
+    def test_timeout_retry_recovers_in_a_worker_thread(self):
+        calls: list = []
+
+        def slow_once(config):
+            calls.append(config)
+            if len(calls) == 1:
+                time.sleep(5.0)
+            return "recovered"
+
+        result, incident = _in_thread(
+            lambda: run_point(
+                _config(),
+                RetryPolicy(max_attempts=2, backoff_base_s=0.0, timeout_s=0.05),
+                runner=slow_once,
+                sleep=lambda s: None,
+            )
+        )
+        assert result == "recovered"
+        assert incident.recovered and incident.outcome == "timeout"
+
+    def test_fast_point_is_not_interrupted_and_watchdog_disarms(self):
+        def quick(config):
+            return "done"
+
+        result, failure = _in_thread(
+            lambda: run_point(
+                _config(),
+                RetryPolicy(max_attempts=1, timeout_s=5.0),
+                runner=quick,
+                sleep=lambda s: None,
+            )
+        )
+        assert (result, failure) == ("done", None)
+        # The watchdog timer was cancelled: nothing fires later.
+        time.sleep(0.05)
+
+    def test_missing_watchdog_support_fails_loudly(self, monkeypatch):
+        """No SIGALRM (off-main) and no async-exception machinery: the
+        deadline refuses to run unprotected instead of silently
+        dropping timeout enforcement."""
+        from repro.errors import ConfigError
+        from repro.harness import resilience
+
+        monkeypatch.setattr(resilience, "_HAS_ASYNC_EXC", False)
+
+        def protected():
+            with resilience._deadline(0.1):
+                return "ran"
+
+        with pytest.raises(ConfigError, match="cannot be enforced"):
+            _in_thread(protected)
